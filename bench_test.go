@@ -1,0 +1,179 @@
+package sparsecut
+
+// Benchmark harness: one testing.B benchmark per evaluation experiment
+// (E1–E14, see DESIGN.md §4) plus micro-benchmarks of the hot paths.
+//
+// The experiment benchmarks run the quick-mode workload once per iteration
+// and report each experiment's headline metrics via b.ReportMetric, so
+//
+//	go test -bench=. -benchmem
+//
+// regenerates a compact, machine-readable version of the entire evaluation.
+// Full-size tables are produced by `go run ./cmd/experiments -all`.
+
+import (
+	"io"
+	"strings"
+	"testing"
+
+	"sparsecut/internal/experiments"
+	"sparsecut/internal/gossip"
+	"sparsecut/internal/graph"
+	"sparsecut/internal/sim"
+	"sparsecut/internal/spectral"
+)
+
+// benchExperiment runs one experiment per iteration and republishes its
+// metrics as benchmark outputs.
+func benchExperiment(b *testing.B, id string, metrics ...string) {
+	b.Helper()
+	e, ok := experiments.ByID(id)
+	if !ok {
+		b.Fatalf("experiment %s not registered", id)
+	}
+	var last experiments.Outcome
+	for i := 0; i < b.N; i++ {
+		out, err := e.Run(io.Discard, experiments.Params{Quick: true, Seed: uint64(i + 1)})
+		if err != nil {
+			b.Fatalf("%s: %v", id, err)
+		}
+		last = out
+	}
+	for _, m := range metrics {
+		if v, ok := last.Metrics[m]; ok {
+			// testing.B forbids whitespace in metric units.
+			unit := strings.NewReplacer(" ", "_", "(", "", ")", "", ".", "").Replace(m)
+			b.ReportMetric(v, unit)
+		}
+	}
+}
+
+func BenchmarkE1ConvexLowerBoundScaling(b *testing.B) {
+	benchExperiment(b, "E1", "slope")
+}
+
+func BenchmarkE2CutSizeScaling(b *testing.B) {
+	benchExperiment(b, "E2", "slope")
+}
+
+func BenchmarkE3AlgorithmAScaling(b *testing.B) {
+	benchExperiment(b, "E3", "slope")
+}
+
+func BenchmarkE4HeadlineSeparation(b *testing.B) {
+	benchExperiment(b, "E4", "speedup@64", "speedup-growth")
+}
+
+func BenchmarkE5VarianceTrajectories(b *testing.B) {
+	benchExperiment(b, "E5", "final-ratio-vanilla", "final-ratio-algorithm-A")
+}
+
+func BenchmarkE6StochasticDominance(b *testing.B) {
+	benchExperiment(b, "E6", "frac-weak", "hard-violations")
+}
+
+func BenchmarkE7SubGaussianTail(b *testing.B) {
+	benchExperiment(b, "E7", "beta", "r2")
+}
+
+func BenchmarkE8WeightAblation(b *testing.B) {
+	benchExperiment(b, "E8", "contraction-symmetric-n1 (paper)")
+}
+
+func BenchmarkE9EpochConstantSweep(b *testing.B) {
+	benchExperiment(b, "E9", "K-spectral")
+}
+
+func BenchmarkE10RealisticGraphs(b *testing.B) {
+	benchExperiment(b, "E10", "speedup-planted-partition", "speedup-walled-rgg")
+}
+
+func BenchmarkE11DiffusionBaseline(b *testing.B) {
+	benchExperiment(b, "E11", "rounds-first", "rounds-second", "rounds-A-equivalent")
+}
+
+func BenchmarkE12DistributedRuntime(b *testing.B) {
+	benchExperiment(b, "E12", "ratio@drop=0")
+}
+
+func BenchmarkE13TimingModels(b *testing.B) {
+	benchExperiment(b, "E13", "speedup-edge-clock (paper)", "speedup-node-clock (Boyd et al.)")
+}
+
+func BenchmarkE14AllCutEdges(b *testing.B) {
+	benchExperiment(b, "E14", "gain@k=4")
+}
+
+// --- micro-benchmarks of the hot paths ---
+
+// BenchmarkSimulatorVanillaTick measures raw event throughput of the
+// event-driven simulator running vanilla gossip on a dumbbell.
+func BenchmarkSimulatorVanillaTick(b *testing.B) {
+	g, part, err := graph.Dumbbell(64, 64, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	alg, err := gossip.NewVanilla(g, gossip.CutIndicator(part))
+	if err != nil {
+		b.Fatal(err)
+	}
+	eng, err := sim.NewEngine(g, alg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	eng.Run(sim.MaxEvents(int64(b.N)))
+}
+
+// BenchmarkSimulatorPerEdgeHeap measures the heap-based per-edge-clock
+// scheduler on the same workload.
+func BenchmarkSimulatorPerEdgeHeap(b *testing.B) {
+	g, part, err := graph.Dumbbell(64, 64, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	alg, err := gossip.NewVanilla(g, gossip.CutIndicator(part))
+	if err != nil {
+		b.Fatal(err)
+	}
+	eng, err := sim.NewEngine(g, alg, sim.WithScheduler(sim.PerEdgeClocks))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	eng.Run(sim.MaxEvents(int64(b.N)))
+}
+
+// BenchmarkAlgorithmATick measures Algorithm A's per-event cost including
+// the O(1) variance tracking.
+func BenchmarkAlgorithmATick(b *testing.B) {
+	g, part, err := graph.Dumbbell(64, 64, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	alg, err := NewAlgorithmA(g, gossip.CutIndicator(part), WithPartition(part))
+	if err != nil {
+		b.Fatal(err)
+	}
+	eng, err := sim.NewEngine(g, alg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	eng.Run(sim.MaxEvents(int64(b.N)))
+}
+
+// BenchmarkLambda2Dumbbell measures the spectral cut-analysis cost that
+// Algorithm A's auto-configuration pays once per graph.
+func BenchmarkLambda2Dumbbell(b *testing.B) {
+	g, _, err := graph.Dumbbell(64, 64, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := spectral.Lambda2(g, spectral.Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,59 @@
+// Command experiments regenerates the repository's evaluation suite
+// (experiments E1–E14, DESIGN.md §4) — every table and figure-style series
+// reproduced from the paper.
+//
+// Usage:
+//
+//	experiments -list
+//	experiments -run E4 [-quick] [-markdown] [-seed 1]
+//	experiments -all  [-quick] [-markdown] [-seed 1]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"sparsecut/internal/experiments"
+)
+
+func main() {
+	var (
+		list     = flag.Bool("list", false, "list available experiments and exit")
+		run      = flag.String("run", "", "run a single experiment by ID (e.g. E4)")
+		all      = flag.Bool("all", false, "run the entire suite E1..E14")
+		quick    = flag.Bool("quick", false, "reduced sizes (CI-grade); full mode regenerates EXPERIMENTS.md numbers")
+		markdown = flag.Bool("markdown", false, "render tables as Markdown")
+		seed     = flag.Uint64("seed", 1, "random seed")
+	)
+	flag.Parse()
+
+	params := experiments.Params{Quick: *quick, Seed: *seed, Markdown: *markdown}
+	switch {
+	case *list:
+		for _, e := range experiments.All() {
+			fmt.Printf("%-4s %s\n     claim: %s\n", e.ID, e.Title, e.Claim)
+		}
+	case *all:
+		if _, err := experiments.RunAll(os.Stdout, params); err != nil {
+			fatal(err)
+		}
+	case *run != "":
+		e, ok := experiments.ByID(*run)
+		if !ok {
+			fatal(fmt.Errorf("unknown experiment %q (use -list)", *run))
+		}
+		fmt.Printf("===== %s: %s =====\nclaim: %s\n\n", e.ID, e.Title, e.Claim)
+		if _, err := e.Run(os.Stdout, params); err != nil {
+			fatal(err)
+		}
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "experiments:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,88 @@
+// Cluster: run Algorithm A as a *real* decentralized protocol — one
+// goroutine per node, one per edge clock, coordinating through explicit
+// messages (ordered try-lock exchanges with leases and retransmission)
+// instead of a shared-memory simulator.
+//
+// By default the transport is in-memory channels; pass -tcp to carry every
+// protocol message over loopback TCP sockets. Pass -drop 0.05 to inject
+// 5% i.i.d. message loss and watch the protocol degrade gracefully
+// (aborted exchanges are skipped ticks, not corruption).
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"time"
+
+	"sparsecut"
+	"sparsecut/internal/core"
+	"sparsecut/internal/dist"
+	"sparsecut/internal/rng"
+)
+
+func main() {
+	var (
+		n        = flag.Int("n", 16, "total nodes (dumbbell of two n/2-cliques)")
+		duration = flag.Float64("t", 40, "simulated duration in time units")
+		drop     = flag.Float64("drop", 0, "message loss probability in [0,1)")
+		useTCP   = flag.Bool("tcp", false, "use loopback TCP instead of in-memory channels")
+		seed     = flag.Uint64("seed", 1, "random seed")
+	)
+	flag.Parse()
+
+	g, part, err := sparsecut.NewDumbbell(*n/2, *n-*n/2, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	x0 := sparsecut.WorstCaseInit(part)
+	rule, err := dist.NewSparseCutRule(part, part.CutEdges()[0], 2, core.ExactWeight(part))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	addrs := g.NumNodes() + g.NumEdges()
+	var tr dist.Transport
+	if *useTCP {
+		tcp, err := dist.NewTCPTransport(addrs)
+		if err != nil {
+			log.Fatal(err)
+		}
+		port, _ := tcp.Port(0)
+		fmt.Printf("transport: loopback TCP (%d listeners, node 0 on port %d)\n", addrs, port)
+		tr = tcp
+	} else {
+		fmt.Printf("transport: in-memory channels (%d mailboxes)\n", addrs)
+		tr = dist.NewChanTransport(addrs)
+	}
+	if *drop > 0 {
+		tr, err = dist.NewDropTransport(tr, *drop, rng.New(*seed+99))
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("fault injection: dropping %.0f%% of messages\n", *drop*100)
+	}
+
+	cl, err := dist.NewCluster(g, x0, rule, dist.ClusterConfig{
+		TimeScale: 8 * time.Millisecond,
+		Seed:      *seed,
+		Transport: tr,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("graph:     %s\n", g)
+	fmt.Printf("rule:      %s\n", rule.Name())
+	fmt.Printf("running:   %d node + %d clock goroutines for t=%g (%.1fs wall)...\n",
+		g.NumNodes(), g.NumEdges(), *duration, *duration*0.008)
+	start := time.Now()
+	if err := cl.Run(context.Background(), *duration); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("done in %v\n\n", time.Since(start).Round(time.Millisecond))
+	fmt.Printf("exchanges: %d committed, %d aborted\n", cl.Exchanges(), cl.Aborted())
+	fmt.Printf("mean:      %.6g (started at 0)\n", cl.Mean())
+	fmt.Printf("variance:  %.6g (started at 1)\n", cl.Variance())
+}

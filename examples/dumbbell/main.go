@@ -1,0 +1,47 @@
+// Dumbbell: reproduce the paper's headline separation live — measure the
+// averaging time Tav (Definition 1) of vanilla gossip and of Algorithm A
+// on symmetric dumbbells of growing size, and print the speedup.
+//
+// Theorem 1 forces every convex algorithm to Tav = Omega(n) here; Theorem 2
+// gives Algorithm A O(polylog n). Expect the speedup column to grow
+// roughly linearly with n.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"sparsecut"
+)
+
+func main() {
+	fmt.Printf("%6s  %14s  %12s  %8s\n", "n", "Tav(vanilla)", "Tav(A)", "speedup")
+	for _, n := range []int{32, 64, 128} {
+		g, part, err := sparsecut.NewDumbbell(n/2, n/2, 1)
+		if err != nil {
+			log.Fatal(err)
+		}
+		x0 := sparsecut.WorstCaseInit(part)
+
+		vanilla, err := sparsecut.MeasureAveragingTime(g,
+			func(int, uint64) (sparsecut.Algorithm, error) {
+				return sparsecut.NewVanillaGossip(g, x0)
+			},
+			sparsecut.TavConfig{Trials: 5, MaxTime: 50 * float64(n), MarginFactor: 1})
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		algA, err := sparsecut.MeasureAveragingTime(g,
+			func(int, uint64) (sparsecut.Algorithm, error) {
+				return sparsecut.NewAlgorithmA(g, x0, sparsecut.WithPartition(part))
+			},
+			sparsecut.TavConfig{Trials: 5, MaxTime: 50 * float64(n)})
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		fmt.Printf("%6d  %14.4g  %12.4g  %7.1fx\n",
+			n, vanilla.Tav, algA.Tav, vanilla.Tav/algA.Tav)
+	}
+}

@@ -1,0 +1,398 @@
+// Package core implements the paper's primary contribution: Algorithm A,
+// the non-convex gossip-averaging algorithm for graphs with one sparse cut.
+//
+// The algorithm (Section 1.0.1 of the paper) partitions the graph into two
+// internally well-connected sides V1, V2 joined by cut edges E12 and fixes
+// one designated cut edge ec. At a tick of:
+//
+//   - an internal edge (both endpoints on one side): vanilla averaging —
+//     both endpoints take the arithmetic mean;
+//   - a cut edge other than ec: no update;
+//   - ec: nothing, except at every K-th tick of ec, where
+//     K = ⌈C·(Tvan(G1)+Tvan(G2))·ln n⌉, a *non-convex* swap with
+//     coefficient w ≫ 1 fires: x_a ← x_a + w(x_b − x_a),
+//     x_b ← x_b − w(x_b − x_a).
+//
+// Between swaps each side mixes internally, so its values concentrate
+// around the side mean; the swap then transfers exactly the inter-side
+// imbalance across the cut in O(1) time instead of the Ω(n1/|E12|) time any
+// convex algorithm needs (Theorem 1). See weight.go for the coefficient
+// discussion (the library defaults to the exactly-annihilating w* rather
+// than the paper's literal n1).
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"sparsecut/internal/cut"
+	"sparsecut/internal/gossip"
+	"sparsecut/internal/graph"
+	"sparsecut/internal/spectral"
+)
+
+// DefaultEpochConstant is the paper's constant C ("sufficiently large
+// absolute constant") used when computing the swap period
+// K = ⌈C·(Tvan1+Tvan2)·ln n⌉ from Tvan estimates.
+//
+// The default Tvan estimate is the spectral bound 6/λ2, which already
+// embeds Definition 1's e² threshold and probability margin, so C = 1
+// yields C·6·ln n ≈ 6·ln n e-folds of per-epoch side mixing — a per-epoch
+// within-side variance contraction of n⁻⁶ ≪ the n⁻³ the paper's Lemma 1
+// machinery needs — while keeping epochs short enough that the algorithm
+// wins at practical sizes. Experiment E9 sweeps C.
+const DefaultEpochConstant = 1.0
+
+// SwapEvent describes one firing of the non-convex cut update, as reported
+// to the listener installed with WithSwapListener.
+type SwapEvent struct {
+	// Time is the simulated time of the swap.
+	Time float64
+	// Index is the 1-based count of swaps so far.
+	Index int64
+	// VarBefore and VarAfter are the paper's varX immediately before and
+	// after the swap (the values at T_k^- and T_k^+ in Section 3).
+	VarBefore, VarAfter float64
+}
+
+// SparseCutAveraging is Algorithm A. It implements gossip.Algorithm (and
+// therefore sim.Handler). Construct with New; the zero value is not usable.
+type SparseCutAveraging struct {
+	g    *graph.Graph
+	part *graph.Partition
+	st   *gossip.State
+
+	ec       graph.EdgeID
+	isCut    []bool // per-edge: crosses the partition
+	weight   float64
+	rule     WeightRule
+	epochK   int64 // swap every epochK-th tick of ec
+	ecTicks  int64
+	swaps    int64
+	listener func(SwapEvent)
+
+	tvan1, tvan2 float64 // the Tvan estimates used to size the epoch (0 if user-supplied K)
+}
+
+var _ gossip.Algorithm = (*SparseCutAveraging)(nil)
+
+// Option configures New.
+type Option func(*config)
+
+type config struct {
+	part         *graph.Partition
+	ecSet        bool
+	ec           graph.EdgeID
+	rule         WeightRule
+	customWeight float64
+	epochK       int64
+	epochC       float64
+	tvanSet      bool
+	tvan1, tvan2 float64
+	spectralOpts spectral.Options
+	listener     func(SwapEvent)
+	allCutEdges  bool
+}
+
+// WithPartition supplies the sparse-cut partition (e.g. the planted one
+// from graph.Dumbbell). Without it, New auto-detects a cut by spectral
+// bisection.
+func WithPartition(p *graph.Partition) Option {
+	return func(c *config) { c.part = p }
+}
+
+// WithCutEdge overrides the designated edge ec (default: the lowest-ID cut
+// edge, per cut.DesignatedCutEdge).
+func WithCutEdge(e graph.EdgeID) Option {
+	return func(c *config) { c.ecSet = true; c.ec = e }
+}
+
+// WithWeightRule selects the swap coefficient strategy (default WeightExact).
+func WithWeightRule(rule WeightRule) Option {
+	return func(c *config) { c.rule = rule }
+}
+
+// WithWeight sets an explicit swap coefficient and implies WeightCustom.
+func WithWeight(w float64) Option {
+	return func(c *config) { c.rule = WeightCustom; c.customWeight = w }
+}
+
+// WithEpochTicks fixes the swap period K directly, bypassing the
+// C·(Tvan1+Tvan2)·ln n formula. K must be >= 1.
+func WithEpochTicks(k int64) Option {
+	return func(c *config) { c.epochK = k }
+}
+
+// WithEpochConstant sets the paper's constant C (default
+// DefaultEpochConstant). Ignored when WithEpochTicks is used.
+func WithEpochConstant(cc float64) Option {
+	return func(c *config) { c.epochC = cc }
+}
+
+// WithTvan supplies the per-side vanilla averaging times used in the epoch
+// formula, e.g. empirical measurements. By default they are the analytic
+// spectral bounds 6/λ2 of the two induced subgraphs.
+func WithTvan(tvan1, tvan2 float64) Option {
+	return func(c *config) { c.tvanSet = true; c.tvan1 = tvan1; c.tvan2 = tvan2 }
+}
+
+// WithSpectralOptions tunes the eigensolver used for cut auto-detection and
+// the default Tvan estimates.
+func WithSpectralOptions(o spectral.Options) Option {
+	return func(c *config) { c.spectralOpts = o }
+}
+
+// WithSwapListener installs a callback invoked at every swap with the
+// variance just before and after — the observable driving the
+// stochastic-dominance experiment (E6).
+func WithSwapListener(fn func(SwapEvent)) Option {
+	return func(c *config) { c.listener = fn }
+}
+
+// WithAllCutEdges enables the multi-edge extension: every cut edge
+// participates in a shared tick counter and the swap fires on whichever cut
+// edge's tick reaches the period. This is not in the paper (which uses a
+// single fixed ec and ignores other cut edges). The derived period is
+// scaled by |E12| so the epoch *duration* still satisfies the side-mixing
+// requirement; the benefit is that the minimum epoch is 1/|E12| time units
+// instead of 1 (the single edge's tick gap), which only matters once
+// C·(Tvan1+Tvan2)·ln n < 1. Experiment E14 quantifies this — including the
+// failure mode of the naive unscaled variant (WithEpochTicks bypasses the
+// scaling, so E14 can reproduce it).
+func WithAllCutEdges() Option {
+	return func(c *config) { c.allCutEdges = true }
+}
+
+// New builds Algorithm A on g with initial values x0.
+//
+// Validation errors include: length mismatch, a partition for a different
+// graph, a designated edge that does not cross the cut, non-positive
+// custom weights, or K < 1. When no partition is supplied the graph must be
+// connected so spectral bisection can find the cut.
+func New(g *graph.Graph, x0 []float64, opts ...Option) (*SparseCutAveraging, error) {
+	if len(x0) != g.NumNodes() {
+		return nil, fmt.Errorf("core: %d initial values for %d nodes", len(x0), g.NumNodes())
+	}
+	cfg := config{rule: WeightExact, epochC: DefaultEpochConstant}
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+
+	part := cfg.part
+	if part == nil {
+		detected, _, err := cut.Detect(g, cfg.spectralOpts)
+		if err != nil {
+			return nil, fmt.Errorf("core: auto-detecting sparse cut: %w", err)
+		}
+		part = detected
+	} else if part.Graph() != g {
+		return nil, errors.New("core: partition belongs to a different graph")
+	}
+	if part.CutSize() == 0 {
+		return nil, errors.New("core: partition has no cut edges")
+	}
+
+	ec := cfg.ec
+	if !cfg.ecSet {
+		designated, err := cut.DesignatedCutEdge(part)
+		if err != nil {
+			return nil, err
+		}
+		ec = designated
+	}
+	if ec < 0 || int(ec) >= g.NumEdges() {
+		return nil, fmt.Errorf("core: designated edge %d out of range", ec)
+	}
+	if !part.IsCutEdge(ec) {
+		return nil, fmt.Errorf("core: designated edge %v does not cross the cut", g.Edge(ec))
+	}
+
+	w, err := weightFor(cfg.rule, cfg.customWeight, part)
+	if err != nil {
+		return nil, err
+	}
+
+	a := &SparseCutAveraging{
+		g:        g,
+		part:     part,
+		st:       gossip.NewState(x0),
+		ec:       ec,
+		weight:   w,
+		rule:     cfg.rule,
+		listener: cfg.listener,
+	}
+	a.isCut = make([]bool, g.NumEdges())
+	for _, id := range part.CutEdges() {
+		a.isCut[id] = true
+	}
+
+	if cfg.epochK != 0 {
+		if cfg.epochK < 1 {
+			return nil, fmt.Errorf("core: epoch ticks %d must be >= 1", cfg.epochK)
+		}
+		a.epochK = cfg.epochK
+	} else {
+		tvan1, tvan2 := cfg.tvan1, cfg.tvan2
+		if !cfg.tvanSet {
+			tvan1, tvan2, err = SideTvanBounds(part, cfg.spectralOpts)
+			if err != nil {
+				return nil, fmt.Errorf("core: estimating side Tvan: %w", err)
+			}
+		}
+		if tvan1 < 0 || tvan2 < 0 || math.IsNaN(tvan1) || math.IsNaN(tvan2) || math.IsInf(tvan1, 0) || math.IsInf(tvan2, 0) {
+			return nil, fmt.Errorf("core: invalid Tvan estimates (%v, %v)", tvan1, tvan2)
+		}
+		if cfg.epochC <= 0 {
+			return nil, fmt.Errorf("core: epoch constant %v must be positive", cfg.epochC)
+		}
+		a.tvan1, a.tvan2 = tvan1, tvan2
+		target := cfg.epochC * (tvan1 + tvan2) * math.Log(float64(g.NumNodes()))
+		if cfg.allCutEdges {
+			// In all-cut-edges mode the counter ticks |E12| times faster,
+			// so K must scale with the cut size to keep the epoch
+			// *duration* — the side-mixing requirement — unchanged.
+			target *= float64(part.CutSize())
+		}
+		k := math.Ceil(target)
+		if k < 1 {
+			k = 1
+		}
+		a.epochK = int64(k)
+	}
+
+	if cfg.allCutEdges {
+		// Multi-edge extension: treat every cut edge as swap-capable.
+		a.ec = -1
+	}
+	return a, nil
+}
+
+// SideTvanBounds computes the analytic vanilla averaging-time bounds 6/λ2
+// for the two induced side subgraphs. A single-node side averages
+// instantly, so its bound is 0.
+func SideTvanBounds(p *graph.Partition, opts spectral.Options) (tvan1, tvan2 float64, err error) {
+	for i, s := range []graph.Side{graph.Side1, graph.Side2} {
+		sub, _ := p.Subgraph(s)
+		var tv float64
+		if sub.NumNodes() < 2 {
+			tv = 0
+		} else {
+			tv, err = spectral.TvanBound(sub, opts)
+			if err != nil {
+				return 0, 0, fmt.Errorf("core: TvanBound(%s): %w", s, err)
+			}
+		}
+		if i == 0 {
+			tvan1 = tv
+		} else {
+			tvan2 = tv
+		}
+	}
+	return tvan1, tvan2, nil
+}
+
+// Name implements gossip.Algorithm.
+func (a *SparseCutAveraging) Name() string {
+	return fmt.Sprintf("algorithm-A(w=%s, K=%d)", a.rule, a.epochK)
+}
+
+// HandleTick implements gossip.Algorithm (and sim.Handler).
+func (a *SparseCutAveraging) HandleTick(e graph.EdgeID, t float64) {
+	switch {
+	case e == a.ec || (a.ec < 0 && a.isCut[e]):
+		a.ecTicks++
+		if a.ecTicks%a.epochK == 0 {
+			a.swap(e, t)
+		}
+	case a.isCut[e]:
+		// Non-designated cut edges make no update (paper, Section 1.0.1).
+	default:
+		edge := a.g.Edge(e)
+		i, j := int(edge.U), int(edge.V)
+		avg := (a.st.Get(i) + a.st.Get(j)) / 2
+		a.st.Set(i, avg)
+		a.st.Set(j, avg)
+	}
+}
+
+// swap applies the non-convex update at cut edge e.
+func (a *SparseCutAveraging) swap(e graph.EdgeID, t float64) {
+	edge := a.g.Edge(e)
+	// Orient so that `u` is the Side1 endpoint, matching the paper's
+	// x_{n1}/x_{n1+1} labelling (the update itself is orientation-neutral).
+	u, v := int(edge.U), int(edge.V)
+	if a.part.SideOf(edge.U) != graph.Side1 {
+		u, v = v, u
+	}
+	varBefore := a.st.Variance()
+	xu, xv := a.st.Get(u), a.st.Get(v)
+	d := a.weight * (xv - xu)
+	a.st.Set(u, xu+d)
+	a.st.Set(v, xv-d)
+	a.swaps++
+	if a.listener != nil {
+		a.listener(SwapEvent{
+			Time:      t,
+			Index:     a.swaps,
+			VarBefore: varBefore,
+			VarAfter:  a.st.Variance(),
+		})
+	}
+}
+
+// Values implements gossip.Algorithm.
+func (a *SparseCutAveraging) Values() []float64 { return a.st.Values() }
+
+// Mean implements gossip.Algorithm.
+func (a *SparseCutAveraging) Mean() float64 { return a.st.Mean() }
+
+// Variance implements gossip.Algorithm.
+func (a *SparseCutAveraging) Variance() float64 { return a.st.Variance() }
+
+// Partition returns the sparse-cut partition in use.
+func (a *SparseCutAveraging) Partition() *graph.Partition { return a.part }
+
+// CutEdge returns the designated edge ec, or -1 in all-cut-edges mode.
+func (a *SparseCutAveraging) CutEdge() graph.EdgeID { return a.ec }
+
+// Weight returns the swap coefficient in use.
+func (a *SparseCutAveraging) Weight() float64 { return a.weight }
+
+// EpochTicks returns the swap period K in ticks of ec.
+func (a *SparseCutAveraging) EpochTicks() int64 { return a.epochK }
+
+// Swaps returns the number of non-convex swaps performed so far.
+func (a *SparseCutAveraging) Swaps() int64 { return a.swaps }
+
+// TvanEstimates returns the per-side Tvan values that sized the epoch
+// (zeros when the caller fixed K directly).
+func (a *SparseCutAveraging) TvanEstimates() (tvan1, tvan2 float64) {
+	return a.tvan1, a.tvan2
+}
+
+// EpochDuration returns the expected simulated time between swaps: K ticks
+// of a rate-1 edge clock take K time units in expectation (or K/|E12| in
+// all-cut-edges mode). The averaging-time estimator uses this to size its
+// quiet period.
+func (a *SparseCutAveraging) EpochDuration() float64 {
+	if a.ec < 0 {
+		return float64(a.epochK) / float64(a.part.CutSize())
+	}
+	return float64(a.epochK)
+}
+
+// SideMeans returns the current means µ1, µ2 of the two sides — the
+// quantities whose annihilation the swap is designed for.
+func (a *SparseCutAveraging) SideMeans() (mu1, mu2 float64) {
+	var s1, s2 float64
+	vals := a.st.Values()
+	for u, x := range vals {
+		if a.part.SideOf(graph.NodeID(u)) == graph.Side1 {
+			s1 += x
+		} else {
+			s2 += x
+		}
+	}
+	return s1 / float64(a.part.Size1()), s2 / float64(a.part.Size2())
+}

@@ -1,0 +1,362 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"sparsecut/internal/gossip"
+	"sparsecut/internal/graph"
+	"sparsecut/internal/sim"
+	"sparsecut/internal/spectral"
+)
+
+func dumbbell(t *testing.T, n1, n2, cutEdges int) (*graph.Graph, *graph.Partition) {
+	t.Helper()
+	g, p, err := graph.Dumbbell(n1, n2, cutEdges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g, p
+}
+
+func TestWeightRuleStrings(t *testing.T) {
+	for _, r := range []WeightRule{WeightExact, WeightPaper, WeightCustom, WeightRule(9)} {
+		if r.String() == "" {
+			t.Errorf("empty name for rule %d", int(r))
+		}
+	}
+}
+
+func TestExactWeightValues(t *testing.T) {
+	_, p := dumbbell(t, 4, 4, 1)
+	if got := ExactWeight(p); got != 2 {
+		t.Errorf("ExactWeight(4,4) = %v, want 2", got)
+	}
+	if got := PaperWeight(p); got != 4 {
+		t.Errorf("PaperWeight(4,4) = %v, want 4", got)
+	}
+	_, p2 := dumbbell(t, 2, 8, 1)
+	if got := ExactWeight(p2); got != 1.6 {
+		t.Errorf("ExactWeight(2,8) = %v, want 1.6", got)
+	}
+	if got := PaperWeight(p2); got != 2 {
+		t.Errorf("PaperWeight(2,8) = %v, want 2", got)
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	g, p := dumbbell(t, 4, 4, 1)
+	x0 := gossip.CutIndicator(p)
+
+	if _, err := New(g, x0[:3], WithPartition(p)); err == nil {
+		t.Error("length mismatch not rejected")
+	}
+	other, _ := dumbbell(t, 3, 3, 1)
+	otherPart, err := graph.PartitionByPrefix(other, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := New(g, x0, WithPartition(otherPart)); err == nil {
+		t.Error("foreign partition not rejected")
+	}
+	if _, err := New(g, x0, WithPartition(p), WithCutEdge(0)); err == nil {
+		t.Error("non-cut designated edge not rejected")
+	}
+	if _, err := New(g, x0, WithPartition(p), WithCutEdge(9999)); err == nil {
+		t.Error("out-of-range designated edge not rejected")
+	}
+	if _, err := New(g, x0, WithPartition(p), WithWeight(-1)); err == nil {
+		t.Error("negative custom weight not rejected")
+	}
+	if _, err := New(g, x0, WithPartition(p), WithEpochTicks(-5)); err == nil {
+		t.Error("negative epoch not rejected")
+	}
+	if _, err := New(g, x0, WithPartition(p), WithEpochConstant(-1)); err == nil {
+		t.Error("negative epoch constant not rejected")
+	}
+	if _, err := New(g, x0, WithPartition(p), WithTvan(math.Inf(1), 0)); err == nil {
+		t.Error("infinite Tvan not rejected")
+	}
+}
+
+func TestNewDefaults(t *testing.T) {
+	g, p := dumbbell(t, 8, 8, 1)
+	a, err := New(g, gossip.CutIndicator(p), WithPartition(p))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Weight() != ExactWeight(p) {
+		t.Errorf("default weight %v, want exact %v", a.Weight(), ExactWeight(p))
+	}
+	if a.EpochTicks() < 1 {
+		t.Errorf("epoch %d < 1", a.EpochTicks())
+	}
+	if a.CutEdge() != p.CutEdges()[0] {
+		t.Error("default ec is not the designated cut edge")
+	}
+	tv1, tv2 := a.TvanEstimates()
+	if tv1 <= 0 || tv2 <= 0 {
+		t.Errorf("Tvan estimates (%v, %v) should be positive", tv1, tv2)
+	}
+	if a.Name() == "" {
+		t.Error("empty name")
+	}
+	if a.EpochDuration() != float64(a.EpochTicks()) {
+		t.Error("epoch duration should equal K for a single rate-1 ec")
+	}
+}
+
+func TestAutoDetectPartition(t *testing.T) {
+	g, planted := dumbbell(t, 8, 8, 1)
+	a, err := New(g, gossip.CutIndicator(planted))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Partition().CutSize() != 1 {
+		t.Errorf("auto-detected cut size %d, want 1", a.Partition().CutSize())
+	}
+}
+
+func TestSwapAnnihilatesSideMeansExactWeight(t *testing.T) {
+	// With both sides perfectly mixed, a single exact-weight swap must land
+	// both side means on the global mean.
+	g, p := dumbbell(t, 6, 10, 1)
+	x0 := make([]float64, 16)
+	for u := 0; u < 6; u++ {
+		x0[u] = 3 // µ1 = 3
+	}
+	for u := 6; u < 16; u++ {
+		x0[u] = -1 // µ2 = -1; global mean = (18-10)/16 = 0.5
+	}
+	a, err := New(g, x0, WithPartition(p), WithEpochTicks(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ec := a.CutEdge()
+	a.HandleTick(ec, 1.0) // first tick of ec fires the swap (1 % 1 == 0)
+	mu1, mu2 := a.SideMeans()
+	if math.Abs(mu1-0.5) > 1e-12 || math.Abs(mu2-0.5) > 1e-12 {
+		t.Errorf("side means after exact swap = (%v, %v), want (0.5, 0.5)", mu1, mu2)
+	}
+	if a.Swaps() != 1 {
+		t.Errorf("swaps = %d", a.Swaps())
+	}
+}
+
+func TestSwapPaperWeightExchangesMeansOnEqualSides(t *testing.T) {
+	// The documented failure mode: literal w = n1 on n1 = n2 swaps the two
+	// side means instead of annihilating them.
+	g, p := dumbbell(t, 6, 6, 1)
+	x0 := make([]float64, 12)
+	for u := 0; u < 6; u++ {
+		x0[u] = 1
+	}
+	for u := 6; u < 12; u++ {
+		x0[u] = -1
+	}
+	a, err := New(g, x0, WithPartition(p), WithEpochTicks(1), WithWeightRule(WeightPaper))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.HandleTick(a.CutEdge(), 1.0)
+	mu1, mu2 := a.SideMeans()
+	if math.Abs(mu1-(-1)) > 1e-12 || math.Abs(mu2-1) > 1e-12 {
+		t.Errorf("paper-weight swap on equal sides gave (%v, %v), want (-1, 1)", mu1, mu2)
+	}
+}
+
+func TestSwapPreservesSum(t *testing.T) {
+	g, p := dumbbell(t, 5, 9, 2)
+	x0 := gossip.CutIndicator(p)
+	for _, rule := range []WeightRule{WeightExact, WeightPaper} {
+		a, err := New(g, x0, WithPartition(p), WithEpochTicks(1), WithWeightRule(rule))
+		if err != nil {
+			t.Fatal(err)
+		}
+		sum0 := a.Mean() * float64(g.NumNodes())
+		for k := 0; k < 10; k++ {
+			a.HandleTick(a.CutEdge(), float64(k))
+		}
+		if math.Abs(a.Mean()*float64(g.NumNodes())-sum0) > 1e-9 {
+			t.Errorf("rule %v: sum drifted", rule)
+		}
+	}
+}
+
+func TestNonDesignatedCutEdgeIsNoOp(t *testing.T) {
+	g, p := dumbbell(t, 4, 4, 2)
+	x0 := gossip.CutIndicator(p)
+	a, err := New(g, x0, WithPartition(p), WithEpochTicks(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var other graph.EdgeID = -1
+	for _, id := range p.CutEdges() {
+		if id != a.CutEdge() {
+			other = id
+		}
+	}
+	if other < 0 {
+		t.Fatal("no non-designated cut edge")
+	}
+	before := a.Values()
+	a.HandleTick(other, 0.5)
+	after := a.Values()
+	for i := range before {
+		if before[i] != after[i] {
+			t.Fatalf("non-designated cut edge changed node %d", i)
+		}
+	}
+}
+
+func TestInternalEdgeAverages(t *testing.T) {
+	g, p := dumbbell(t, 3, 3, 1)
+	x0 := []float64{6, 0, 0, 1, 1, 1}
+	a, err := New(g, x0, WithPartition(p))
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, ok := g.FindEdge(0, 1)
+	if !ok {
+		t.Fatal("edge 0-1 missing")
+	}
+	a.HandleTick(e, 0.1)
+	vals := a.Values()
+	if vals[0] != 3 || vals[1] != 3 {
+		t.Errorf("internal tick gave %v", vals[:2])
+	}
+}
+
+func TestSwapOnlyEveryKthTick(t *testing.T) {
+	g, p := dumbbell(t, 4, 4, 1)
+	a, err := New(g, gossip.CutIndicator(p), WithPartition(p), WithEpochTicks(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := 1; k <= 14; k++ {
+		a.HandleTick(a.CutEdge(), float64(k))
+	}
+	if a.Swaps() != 2 { // ticks 5 and 10
+		t.Errorf("swaps = %d after 14 ticks with K=5, want 2", a.Swaps())
+	}
+}
+
+func TestSwapListener(t *testing.T) {
+	g, p := dumbbell(t, 4, 4, 1)
+	var events []SwapEvent
+	a, err := New(g, gossip.CutIndicator(p), WithPartition(p), WithEpochTicks(2),
+		WithSwapListener(func(ev SwapEvent) { events = append(events, ev) }))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := 1; k <= 6; k++ {
+		a.HandleTick(a.CutEdge(), float64(k))
+	}
+	if len(events) != 3 {
+		t.Fatalf("listener saw %d events, want 3", len(events))
+	}
+	for i, ev := range events {
+		if ev.Index != int64(i+1) {
+			t.Errorf("event %d has index %d", i, ev.Index)
+		}
+		if ev.VarBefore < 0 || ev.VarAfter < 0 {
+			t.Error("negative variance in event")
+		}
+	}
+	if events[0].Time != 2 || events[1].Time != 4 {
+		t.Errorf("event times %v, %v; want 2, 4", events[0].Time, events[1].Time)
+	}
+}
+
+func TestConvergesOnDumbbellFast(t *testing.T) {
+	// End-to-end: Algorithm A on a symmetric dumbbell with the worst-case
+	// initial vector converges to variance ~0 and preserves the mean.
+	g, p := dumbbell(t, 16, 16, 1)
+	x0 := gossip.CutIndicator(p)
+	a, err := New(g, x0, WithPartition(p))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var0 := a.Variance()
+	mean0 := a.Mean()
+	eng, err := sim.NewEngine(g, a, sim.WithSeed(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Generous horizon: a handful of epochs.
+	eng.Run(sim.Until(20 * a.EpochDuration()))
+	if a.Variance() > 1e-6*var0 {
+		t.Errorf("variance ratio %v after 20 epochs", a.Variance()/var0)
+	}
+	if math.Abs(a.Mean()-mean0) > 1e-9 {
+		t.Errorf("mean drifted %v -> %v", mean0, a.Mean())
+	}
+	if a.Swaps() == 0 {
+		t.Error("no swaps fired")
+	}
+}
+
+func TestAllCutEdgesMode(t *testing.T) {
+	g, p := dumbbell(t, 8, 8, 4)
+	x0 := gossip.CutIndicator(p)
+	a, err := New(g, x0, WithPartition(p), WithEpochTicks(4), WithAllCutEdges())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.CutEdge() != -1 {
+		t.Error("all-cut-edges mode should report ec = -1")
+	}
+	if a.EpochDuration() != 1 { // K=4 over 4 cut edges
+		t.Errorf("epoch duration %v, want 1", a.EpochDuration())
+	}
+	// Ticking each of the 4 cut edges once gives 4 shared ticks = 1 swap.
+	for _, id := range p.CutEdges() {
+		a.HandleTick(id, 1)
+	}
+	if a.Swaps() != 1 {
+		t.Errorf("swaps = %d, want 1", a.Swaps())
+	}
+}
+
+func TestSideTvanBounds(t *testing.T) {
+	_, p := dumbbell(t, 8, 16, 1)
+	tv1, tv2, err := SideTvanBounds(p, spectral.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// K_8 bound 6/8, K_16 bound 6/16.
+	if math.Abs(tv1-0.75) > 1e-6 {
+		t.Errorf("tvan1 = %v, want 0.75", tv1)
+	}
+	if math.Abs(tv2-0.375) > 1e-6 {
+		t.Errorf("tvan2 = %v, want 0.375", tv2)
+	}
+}
+
+func TestSideTvanBoundsSingletonSide(t *testing.T) {
+	_, p := dumbbell(t, 1, 5, 1)
+	tv1, _, err := SideTvanBounds(p, spectral.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tv1 != 0 {
+		t.Errorf("singleton side tvan = %v, want 0", tv1)
+	}
+}
+
+func TestEpochFormulaMatchesPaper(t *testing.T) {
+	g, p := dumbbell(t, 8, 8, 1)
+	const c = 2.5
+	a, err := New(g, gossip.CutIndicator(p), WithPartition(p), WithEpochConstant(c))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tv1, tv2 := a.TvanEstimates()
+	want := int64(math.Ceil(c * (tv1 + tv2) * math.Log(16)))
+	if want < 1 {
+		want = 1
+	}
+	if a.EpochTicks() != want {
+		t.Errorf("K = %d, want %d", a.EpochTicks(), want)
+	}
+}

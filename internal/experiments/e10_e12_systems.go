@@ -1,0 +1,209 @@
+package experiments
+
+// E10–E12: beyond the dumbbell (realistic sparse-cut graphs with automatic
+// cut detection), the second-order-diffusion baseline from the paper's
+// reference [5], and the decentralized message-passing runtime.
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"math"
+	"time"
+
+	"sparsecut/internal/core"
+	"sparsecut/internal/cut"
+	"sparsecut/internal/dist"
+	"sparsecut/internal/gossip"
+	"sparsecut/internal/graph"
+	"sparsecut/internal/rng"
+	"sparsecut/internal/syncsim"
+	"sparsecut/internal/table"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "E10",
+		Title: "beyond the dumbbell: planted partitions and walled geometric graphs, auto-detected cuts",
+		Claim: "Section 1: A outperforms convex algorithms whenever G1, G2 are internally well connected but poorly connected to each other — including when the cut must be discovered",
+		Run:   runE10,
+	})
+	register(Experiment{
+		ID:    "E11",
+		Title: "non-convex baseline: first/second-order diffusion (ref [5]) vs Algorithm A",
+		Claim: "Introduction: second-order (non-convex) diffusion beats first-order, but both remain cut-limited on the dumbbell; A's targeted non-convexity does not",
+		Run:   runE11,
+	})
+	register(Experiment{
+		ID:    "E12",
+		Title: "decentralized execution: message-passing runtime, with and without message loss",
+		Claim: "Section 1: the algorithm is decentralized — a goroutine-per-node 2PL protocol over an explicit transport reproduces the simulator's behaviour and degrades gracefully under loss",
+		Run:   runE12,
+	})
+}
+
+func runE10(w io.Writer, p Params) (Outcome, error) {
+	p = p.withDefaults()
+	out := newOutcome()
+	root := rng.New(p.Seed)
+	trials := pick(p, 3, 5)
+
+	type workload struct {
+		label string
+		g     *graph.Graph
+		part  *graph.Partition // planted; detection quality is also reported
+	}
+	var cases []workload
+
+	// Cut sizes are kept genuinely sparse (E[|E12|] ~ 3 and 1 door): with a
+	// denser cut, Theorem 1's bound n1/|E12| shrinks and there is nothing
+	// for A to win — the experiment is about the sparse-cut regime.
+	nPlanted := pick(p, 60, 120)
+	pOut := 3.0 / float64(nPlanted*nPlanted/4)
+	gP, pP, err := graph.PlantedPartition(root.Split(), nPlanted/2, nPlanted/2, 0.6, pOut, 500)
+	if err != nil {
+		return out, err
+	}
+	cases = append(cases, workload{"planted-partition", gP, pP})
+
+	nRGG := pick(p, 60, 150)
+	gW, pW, err := graph.WalledRGG(root.Split(), nRGG, 2.0*graph.ConnectivityRadius(nRGG), 1, 500)
+	if err != nil {
+		return out, err
+	}
+	cases = append(cases, workload{"walled-rgg", gW, pW})
+
+	tbl := table.New("E10: auto-detected sparse cuts on realistic graphs",
+		"graph", "n", "|E12| planted", "|E12| detected", "phi detected", "Tav(vanilla)", "Tav(A, detected cut)", "speedup")
+	for _, c := range cases {
+		detected, _, err := cut.Detect(c.g, defaultSpectralOpts())
+		if err != nil {
+			return out, err
+		}
+		x0 := gossip.CutIndicator(c.part)
+		maxT := 40 * float64(c.g.NumNodes())
+		van, err := measureConvex(c.g, x0, 0.5, trials, p.Seed, maxT)
+		if err != nil {
+			return out, err
+		}
+		// The paper defines K from the true Tvan of the sides; the spectral
+		// 6/lambda2 default overestimates it on irregular graphs, so here we
+		// measure Tvan empirically on the detected side subgraphs — the
+		// WithTvan estimator pathway.
+		tvan1, tvan2, err := measuredSideTvans(detected, p.Seed)
+		if err != nil {
+			return out, err
+		}
+		// Algorithm A without a supplied partition: full detection pipeline.
+		algA, err := measureAlgorithmA(c.g, x0, trials, p.Seed, maxT,
+			core.WithTvan(tvan1, tvan2))
+		if err != nil {
+			return out, err
+		}
+		speedup := van.Tav / algA.Tav
+		tbl.AddRow(c.label, c.g.NumNodes(), c.part.CutSize(), detected.CutSize(),
+			detected.Conductance(), fmtCensored(van.Tav, van.Censored),
+			fmtCensored(algA.Tav, algA.Censored), speedup)
+		out.Metrics["speedup-"+c.label] = speedup
+		out.Metrics["detected-cut-"+c.label] = float64(detected.CutSize())
+	}
+	return out, render(w, p, tbl)
+}
+
+func runE11(w io.Writer, p Params) (Outcome, error) {
+	p = p.withDefaults()
+	out := newOutcome()
+	n := pick(p, 32, 64)
+	g, part, x0, err := dumbbellCase(n, 1)
+	if err != nil {
+		return out, err
+	}
+	const ratio = 1.353e-1 // e^-2, matching Definition 1's threshold
+	maxRounds := 2_000_000
+
+	first, err := syncsim.NewFirstOrder(g, x0)
+	if err != nil {
+		return out, err
+	}
+	r1, ok1 := first.RoundsToRatio(ratio, maxRounds)
+
+	beta, err := syncsim.OptimalBeta(g, defaultSpectralOpts())
+	if err != nil {
+		return out, err
+	}
+	second, err := syncsim.NewSecondOrder(g, x0, beta)
+	if err != nil {
+		return out, err
+	}
+	r2, ok2 := second.RoundsToRatio(ratio, maxRounds)
+
+	algA, err := measureAlgorithmA(g, x0, pick(p, 3, 7), p.Seed, maxTimeFor(n), core.WithPartition(part))
+	if err != nil {
+		return out, err
+	}
+	// One asynchronous time unit fires |E| edge clocks = 2|E| node updates;
+	// one synchronous round performs n node updates. Equivalent rounds:
+	eqRounds := algA.Tav * 2 * float64(g.NumEdges()) / float64(n)
+
+	tbl := table.New(fmt.Sprintf("E11: rounds to varX ratio e^-2, dumbbell n=%d", n),
+		"scheme", "rounds (or equivalent)", "converged")
+	tbl.AddRow("first-order diffusion", r1, ok1)
+	tbl.AddRow(fmt.Sprintf("second-order diffusion (beta=%.3f)", beta), r2, ok2)
+	tbl.AddRow("algorithm A (async, node-update-normalised)", eqRounds, algA.Censored == 0)
+	if err := render(w, p, tbl); err != nil {
+		return out, err
+	}
+	fmt.Fprintf(w, "\nsecond order speeds up first order by %.2fx (ref [5] predicts ~sqrt); both remain cut-limited, A is not\n",
+		float64(r1)/math.Max(1, float64(r2)))
+	out.Metrics["rounds-first"] = float64(r1)
+	out.Metrics["rounds-second"] = float64(r2)
+	out.Metrics["rounds-A-equivalent"] = eqRounds
+	return out, nil
+}
+
+func runE12(w io.Writer, p Params) (Outcome, error) {
+	p = p.withDefaults()
+	out := newOutcome()
+	n := pick(p, 12, 16)
+	g, part, err := graph.Dumbbell(n/2, n/2, 1)
+	if err != nil {
+		return out, err
+	}
+	x0 := gossip.CutIndicator(part)
+	var0 := 1.0 // CutIndicator on a symmetric dumbbell has variance 1
+
+	rule, err := dist.NewSparseCutRule(part, part.CutEdges()[0], 2, core.ExactWeight(part))
+	if err != nil {
+		return out, err
+	}
+	duration := pick(p, 30.0, 60.0)
+	scale := 8 * time.Millisecond
+
+	tbl := table.New(fmt.Sprintf("E12: message-passing runtime, dumbbell n=%d, sparse-cut rule, t=%g", n, duration),
+		"drop rate", "exchanges", "aborted", "final var ratio", "mean drift")
+	for _, drop := range []float64{0, 0.05, 0.2} {
+		var tr dist.Transport = dist.NewChanTransport(g.NumNodes() + g.NumEdges())
+		if drop > 0 {
+			tr, err = dist.NewDropTransport(tr, drop, rng.New(p.Seed+uint64(drop*100)))
+			if err != nil {
+				return out, err
+			}
+		}
+		cl, err := dist.NewCluster(g, x0, rule, dist.ClusterConfig{
+			TimeScale: scale,
+			Seed:      p.Seed,
+			Transport: tr,
+		})
+		if err != nil {
+			return out, err
+		}
+		if err := cl.Run(context.Background(), duration); err != nil {
+			return out, err
+		}
+		ratio := cl.Variance() / var0
+		tbl.AddRow(drop, cl.Exchanges(), cl.Aborted(), ratio, math.Abs(cl.Mean()))
+		out.Metrics[fmt.Sprintf("ratio@drop=%g", drop)] = ratio
+		out.Metrics[fmt.Sprintf("aborted@drop=%g", drop)] = float64(cl.Aborted())
+	}
+	return out, render(w, p, tbl)
+}

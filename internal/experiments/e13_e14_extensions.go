@@ -1,0 +1,155 @@
+package experiments
+
+// E13–E14: extensions beyond the paper's exact setting.
+//
+// E13 validates the paper's footnote 1: the algorithm's guarantees are
+// about the timing *model*, and the classical node-clock model of Boyd et
+// al. reduces to the edge-clock model with degree-dependent rates — so
+// Algorithm A (whose epoch counter counts ticks of ec itself) should keep
+// winning unchanged, even though the designated cut edge now ticks at a
+// different rate. It also stresses robustness to arbitrary rate
+// heterogeneity.
+//
+// E14 quantifies the multi-cut-edge extension (WithAllCutEdges): using all
+// of E12's tick budget for swaps shortens the expected epoch from K to
+// K/|E12| time units. The paper's algorithm deliberately ignores the other
+// cut edges; the extension shows what they are worth.
+
+import (
+	"fmt"
+	"io"
+
+	"sparsecut/internal/core"
+	"sparsecut/internal/gossip"
+	"sparsecut/internal/graph"
+	"sparsecut/internal/rng"
+	"sparsecut/internal/sim"
+	"sparsecut/internal/table"
+
+	"sparsecut/internal/avgtime"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "E13",
+		Title: "extension: node-clock model (footnote 1) and heterogeneous edge rates",
+		Claim: "Footnote 1: the edge-clock model simulates the node-clock model (and vice versa); Algorithm A's separation survives degree-dependent and random rate heterogeneity",
+		Run:   runE13,
+	})
+	register(Experiment{
+		ID:    "E14",
+		Title: "extension: swapping over all cut edges (vs the paper's single ec)",
+		Claim: "The paper ignores cut edges other than ec; rotating the swap over all of E12 shortens epochs by ~|E12| at identical per-swap semantics",
+		Run:   runE14,
+	})
+}
+
+// estimateWithRates is avgtime.Estimate generalised to per-edge clock rates.
+func estimateWithRates(g *graph.Graph, rates []float64, factory avgtime.Factory, trials int, seed uint64, maxTime float64, monotone bool) (avgtime.Result, error) {
+	cfg := avgtime.Config{Trials: trials, Seed: seed, MaxTime: maxTime}
+	if monotone {
+		cfg.MarginFactor = 1
+	}
+	return avgtime.EstimateWithRates(g, rates, factory, cfg)
+}
+
+func runE13(w io.Writer, p Params) (Outcome, error) {
+	p = p.withDefaults()
+	out := newOutcome()
+	n := pick(p, 48, 128)
+	g, part, x0, err := dumbbellCase(n, 1)
+	if err != nil {
+		return out, err
+	}
+	trials := pick(p, 3, 7)
+
+	models := []struct {
+		label string
+		rates func() []float64
+	}{
+		{"edge-clock (paper)", func() []float64 { return nil }},
+		{"node-clock (Boyd et al.)", func() []float64 { return sim.NodeClockRates(g) }},
+		{"random rates U[0.5,2]", func() []float64 {
+			r := rng.New(p.Seed + 17)
+			rates := make([]float64, g.NumEdges())
+			for i := range rates {
+				rates[i] = 0.5 + 1.5*r.Float64()
+			}
+			return rates
+		}},
+	}
+
+	tbl := table.New(fmt.Sprintf("E13: timing-model robustness, dumbbell n=%d", n),
+		"clock model", "Tav(vanilla)", "Tav(A)", "speedup")
+	for _, m := range models {
+		rates := m.rates()
+		van, err := estimateWithRates(g, rates, func(int, *rng.RNG) (gossip.Algorithm, error) {
+			return gossip.NewVanilla(g, x0)
+		}, trials, p.Seed, maxTimeFor(n), true)
+		if err != nil {
+			return out, err
+		}
+		algA, err := estimateWithRates(g, rates, func(int, *rng.RNG) (gossip.Algorithm, error) {
+			return core.New(g, x0, core.WithPartition(part))
+		}, trials, p.Seed, maxTimeFor(n), false)
+		if err != nil {
+			return out, err
+		}
+		speedup := van.Tav / algA.Tav
+		tbl.AddRow(m.label, fmtCensored(van.Tav, van.Censored), fmtCensored(algA.Tav, algA.Censored), speedup)
+		out.Metrics["speedup-"+m.label] = speedup
+	}
+	if err := render(w, p, tbl); err != nil {
+		return out, err
+	}
+	fmt.Fprintln(w, "\nunder the node-clock model the cut edge ticks at rate 2*(2/n) instead of 1, slowing both algorithms across the cut; the separation itself survives every model")
+	return out, nil
+}
+
+func runE14(w io.Writer, p Params) (Outcome, error) {
+	p = p.withDefaults()
+	out := newOutcome()
+	n := pick(p, 48, 128)
+	trials := pick(p, 3, 7)
+	tbl := table.New(fmt.Sprintf("E14: single designated edge vs all cut edges, dumbbell n=%d", n),
+		"|E12|", "Tav(A, paper ec)", "Tav(A, all E12, scaled K)", "gain", "Tav(A, all E12, naive K)")
+	for _, cutEdges := range pick(p, []int{2, 4}, []int{2, 4, 8, 16}) {
+		g, part, x0, err := dumbbellCase(n, cutEdges)
+		if err != nil {
+			return out, err
+		}
+		single, err := measureAlgorithmA(g, x0, trials, p.Seed, maxTimeFor(n),
+			core.WithPartition(part))
+		if err != nil {
+			return out, err
+		}
+		all, err := measureAlgorithmA(g, x0, trials, p.Seed, maxTimeFor(n),
+			core.WithPartition(part), core.WithAllCutEdges())
+		if err != nil {
+			return out, err
+		}
+		// The naive variant keeps the single-edge K on the |E12|x faster
+		// shared counter, so its epochs are |E12|x shorter than the side
+		// mixing time: swaps fire under-mixed and amplify the variance.
+		ref, err := core.New(g, x0, core.WithPartition(part))
+		if err != nil {
+			return out, err
+		}
+		naive, err := measureAlgorithmA(g, x0, trials, p.Seed, maxTimeFor(n),
+			core.WithPartition(part), core.WithAllCutEdges(), core.WithEpochTicks(ref.EpochTicks()))
+		if err != nil {
+			return out, err
+		}
+		gain := single.Tav / all.Tav
+		tbl.AddRow(cutEdges, fmtCensored(single.Tav, single.Censored),
+			fmtCensored(all.Tav, all.Censored), gain,
+			fmtCensored(naive.Tav, naive.Censored))
+		out.Metrics[fmt.Sprintf("gain@k=%d", cutEdges)] = gain
+		out.Metrics[fmt.Sprintf("naive-tav@k=%d", cutEdges)] = naive.Tav
+	}
+	if err := render(w, p, tbl); err != nil {
+		return out, err
+	}
+	fmt.Fprintln(w, "\nepochs are mixing-limited, not tick-limited, so the correctly scaled extension is ~neutral (gain near 1; the paper's single fixed ec is essentially optimal). The naive unscaled variant swaps before the sides re-mix and degrades sharply as |E12| grows.")
+	return out, nil
+}

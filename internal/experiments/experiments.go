@@ -1,0 +1,104 @@
+// Package experiments defines the repository's evaluation suite E1–E14: one
+// runnable experiment per quantitative claim of the paper (the paper itself
+// contains no numbered tables or figures, so this suite *is* the evaluation
+// — see DESIGN.md §4 for the mapping). Each experiment prints a table (or
+// CSV series for figure-style output) and returns named headline metrics
+// that the tests, benchmarks and EXPERIMENTS.md assert on.
+//
+// Every experiment supports a Quick mode with reduced sizes and trial
+// counts so the whole suite can run in CI; the full mode regenerates the
+// numbers recorded in EXPERIMENTS.md.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Params configures an experiment run.
+type Params struct {
+	// Quick selects reduced problem sizes for tests and benchmarks.
+	Quick bool
+	// Seed drives all randomness (default 1).
+	Seed uint64
+	// Markdown renders tables as Markdown instead of aligned text.
+	Markdown bool
+}
+
+func (p Params) withDefaults() Params {
+	if p.Seed == 0 {
+		p.Seed = 1
+	}
+	return p
+}
+
+// Outcome carries an experiment's headline numbers, keyed by metric name
+// (e.g. "slope", "speedup@128"). Tables are written to the io.Writer; the
+// Outcome is for programmatic checks.
+type Outcome struct {
+	Metrics map[string]float64
+}
+
+func newOutcome() Outcome { return Outcome{Metrics: map[string]float64{}} }
+
+// Experiment is one entry of the evaluation suite.
+type Experiment struct {
+	// ID is the experiment identifier ("E1".."E12").
+	ID string
+	// Title is a one-line description for listings.
+	Title string
+	// Claim cites the paper statement the experiment reproduces.
+	Claim string
+	// Run executes the experiment, writing tables/series to w.
+	Run func(w io.Writer, p Params) (Outcome, error)
+}
+
+var registry = map[string]Experiment{}
+
+func register(e Experiment) {
+	if _, dup := registry[e.ID]; dup {
+		panic("experiments: duplicate id " + e.ID)
+	}
+	registry[e.ID] = e
+}
+
+// All returns every registered experiment sorted by numeric ID.
+func All() []Experiment {
+	out := make([]Experiment, 0, len(registry))
+	for _, e := range registry {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		var a, b int
+		fmt.Sscanf(out[i].ID, "E%d", &a)
+		fmt.Sscanf(out[j].ID, "E%d", &b)
+		return a < b
+	})
+	return out
+}
+
+// ByID looks an experiment up.
+func ByID(id string) (Experiment, bool) {
+	e, ok := registry[id]
+	return e, ok
+}
+
+// RunAll executes every experiment in sequence, writing each one's output
+// to w, and returns the union of metrics prefixed by experiment ID
+// ("E1/slope"). The first error aborts the run.
+func RunAll(w io.Writer, p Params) (map[string]float64, error) {
+	merged := map[string]float64{}
+	for _, e := range All() {
+		fmt.Fprintf(w, "\n===== %s: %s =====\n", e.ID, e.Title)
+		fmt.Fprintf(w, "claim: %s\n\n", e.Claim)
+		out, err := e.Run(w, p)
+		if err != nil {
+			return merged, fmt.Errorf("experiments: %s: %w", e.ID, err)
+		}
+		for k, v := range out.Metrics {
+			merged[e.ID+"/"+k] = v
+		}
+	}
+	return merged, nil
+}

@@ -1,0 +1,249 @@
+package experiments
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func quickRun(t *testing.T, id string) (Outcome, string) {
+	t.Helper()
+	e, ok := ByID(id)
+	if !ok {
+		t.Fatalf("experiment %s not registered", id)
+	}
+	var buf bytes.Buffer
+	out, err := e.Run(&buf, Params{Quick: true, Seed: 7})
+	if err != nil {
+		t.Fatalf("%s: %v", id, err)
+	}
+	if buf.Len() == 0 {
+		t.Fatalf("%s produced no output", id)
+	}
+	return out, buf.String()
+}
+
+func TestRegistryComplete(t *testing.T) {
+	all := All()
+	if len(all) != 14 {
+		t.Fatalf("registry has %d experiments, want 14", len(all))
+	}
+	for i, e := range all {
+		if e.ID == "" || e.Title == "" || e.Claim == "" || e.Run == nil {
+			t.Errorf("experiment %d incomplete: %+v", i, e)
+		}
+	}
+	// Sorted numerically, not lexically (E10 after E9).
+	if all[8].ID != "E9" || all[9].ID != "E10" {
+		t.Errorf("ordering wrong: %s, %s", all[8].ID, all[9].ID)
+	}
+	if _, ok := ByID("E999"); ok {
+		t.Error("bogus ID found")
+	}
+}
+
+func TestE1ConvexScalesAtLeastLinearly(t *testing.T) {
+	out, text := quickRun(t, "E1")
+	slope := out.Metrics["slope"]
+	if slope < 0.7 {
+		t.Errorf("E1 slope %v: convex Tav should scale ~linearly in n", slope)
+	}
+	if !strings.Contains(text, "vanilla") {
+		t.Error("table missing vanilla rows")
+	}
+}
+
+func TestE2CutSizeScaling(t *testing.T) {
+	out, _ := quickRun(t, "E2")
+	// Tav should decrease with cut size: slope ~ -1 (loose band).
+	slope := out.Metrics["slope"]
+	if slope > -0.4 {
+		t.Errorf("E2 slope %v: Tav should fall with |E12|", slope)
+	}
+}
+
+func TestE3AlgorithmAPolylog(t *testing.T) {
+	out, _ := quickRun(t, "E3")
+	slope := out.Metrics["slope"]
+	if slope > 0.6 {
+		t.Errorf("E3 slope %v: A should scale sub-linearly (polylog)", slope)
+	}
+}
+
+func TestE4SeparationGrows(t *testing.T) {
+	out, _ := quickRun(t, "E4")
+	if out.Metrics["speedup-growth"] <= 1 {
+		t.Errorf("E4 speedup growth %v: separation should widen with n", out.Metrics["speedup-growth"])
+	}
+	for k, v := range out.Metrics {
+		if strings.HasPrefix(k, "speedup@") && v <= 1 {
+			t.Errorf("E4 %s = %v: A should beat vanilla at every size", k, v)
+		}
+	}
+}
+
+func TestE5TrajectoriesSeparate(t *testing.T) {
+	out, text := quickRun(t, "E5")
+	van := out.Metrics["final-ratio-vanilla"]
+	algA := out.Metrics["final-ratio-algorithm-A"]
+	if algA >= van {
+		t.Errorf("E5: A final ratio %v not below vanilla %v", algA, van)
+	}
+	if algA > 1e-8 {
+		t.Errorf("E5: A final ratio %v should be tiny", algA)
+	}
+	if !strings.Contains(text, "series,t,value") {
+		t.Error("E5 missing CSV header")
+	}
+}
+
+func TestE6DominanceHolds(t *testing.T) {
+	out, _ := quickRun(t, "E6")
+	if out.Metrics["hard-violations"] != 0 {
+		t.Errorf("E6: %v increments exceeded the hard bound log n", out.Metrics["hard-violations"])
+	}
+	if out.Metrics["frac-weak"] > 0.5 {
+		t.Errorf("E6: weak-contraction fraction %v exceeds Lemma 1's 1/2", out.Metrics["frac-weak"])
+	}
+	if out.Metrics["mean-increment"] >= 0 {
+		t.Errorf("E6: mean increment %v not contracting", out.Metrics["mean-increment"])
+	}
+}
+
+func TestE7SubGaussianTail(t *testing.T) {
+	out, _ := quickRun(t, "E7")
+	beta := out.Metrics["beta"]
+	if beta < 0.25 || beta > 1 {
+		t.Errorf("E7 beta %v outside plausible band around 0.5", beta)
+	}
+	if out.Metrics["r2"] < 0.9 {
+		t.Errorf("E7 fit R2 %v", out.Metrics["r2"])
+	}
+}
+
+func TestE8WeightAblation(t *testing.T) {
+	out, _ := quickRun(t, "E8")
+	// Exact weight annihilates the means.
+	if c := out.Metrics["contraction-symmetric-w* (exact)"]; c > 1e-9 {
+		t.Errorf("E8: exact weight contraction %v, want ~0", c)
+	}
+	// Paper weight on symmetric sides leaves the mass in place (factor 1).
+	if c := out.Metrics["contraction-symmetric-n1 (paper)"]; math.Abs(c-1) > 1e-9 {
+		t.Errorf("E8: paper weight on symmetric sides gave %v, want 1", c)
+	}
+	// On asymmetric sides the paper weight is much closer to exact.
+	if c := out.Metrics["contraction-asymmetric-n1 (paper)"]; c > 0.5 {
+		t.Errorf("E8: paper weight on asymmetric sides gave %v, want < 0.5", c)
+	}
+}
+
+func TestE9EpochSweep(t *testing.T) {
+	out, _ := quickRun(t, "E9")
+	// Generous C must converge.
+	if out.Metrics["tav@C=8"] <= 0 {
+		t.Error("E9: C=8 did not produce a positive Tav")
+	}
+	// Inflated Tvan estimates must inflate K.
+	if out.Metrics["K-inflated"] < out.Metrics["K-spectral"] {
+		t.Errorf("E9: inflated estimator K %v below spectral %v",
+			out.Metrics["K-inflated"], out.Metrics["K-spectral"])
+	}
+}
+
+func TestE10RealisticGraphs(t *testing.T) {
+	out, _ := quickRun(t, "E10")
+	for _, label := range []string{"planted-partition", "walled-rgg"} {
+		if s := out.Metrics["speedup-"+label]; s <= 1 {
+			t.Errorf("E10: %s speedup %v, want > 1", label, s)
+		}
+		if out.Metrics["detected-cut-"+label] <= 0 {
+			t.Errorf("E10: %s no cut detected", label)
+		}
+	}
+}
+
+func TestE11DiffusionBaseline(t *testing.T) {
+	out, _ := quickRun(t, "E11")
+	if out.Metrics["rounds-second"] >= out.Metrics["rounds-first"] {
+		t.Errorf("E11: second order (%v) not faster than first (%v)",
+			out.Metrics["rounds-second"], out.Metrics["rounds-first"])
+	}
+	if out.Metrics["rounds-A-equivalent"] >= out.Metrics["rounds-first"] {
+		t.Errorf("E11: A equivalent rounds (%v) not below first-order (%v)",
+			out.Metrics["rounds-A-equivalent"], out.Metrics["rounds-first"])
+	}
+}
+
+func TestE12DistributedRuntime(t *testing.T) {
+	out, _ := quickRun(t, "E12")
+	if r := out.Metrics["ratio@drop=0"]; r > 1e-3 {
+		t.Errorf("E12: lossless runtime ratio %v, want converged", r)
+	}
+	if out.Metrics["aborted@drop=0.2"] <= 0 {
+		t.Error("E12: 20%% drop produced no aborts")
+	}
+	// Under moderate loss the protocol still makes clear progress; at 20%
+	// loss progress is best-effort and only reported, not asserted.
+	if r := out.Metrics["ratio@drop=0.05"]; r > 0.5 {
+		t.Errorf("E12: 5%% drop ratio %v, want clear progress", r)
+	}
+}
+
+func TestRunAllQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full suite skipped in short mode")
+	}
+	var buf bytes.Buffer
+	metrics, err := RunAll(&buf, Params{Quick: true, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(metrics) == 0 {
+		t.Fatal("no metrics collected")
+	}
+	for _, id := range []string{"E1", "E12"} {
+		found := false
+		for k := range metrics {
+			if strings.HasPrefix(k, id+"/") {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("RunAll missing metrics for %s", id)
+		}
+	}
+	if !strings.Contains(buf.String(), "===== E7") {
+		t.Error("RunAll output missing experiment banner")
+	}
+}
+
+func TestE13TimingModelRobustness(t *testing.T) {
+	out, _ := quickRun(t, "E13")
+	for _, model := range []string{"edge-clock (paper)", "node-clock (Boyd et al.)", "random rates U[0.5,2]"} {
+		if s := out.Metrics["speedup-"+model]; s <= 1 {
+			t.Errorf("E13: %s speedup %v, want > 1", model, s)
+		}
+	}
+}
+
+func TestE14AllCutEdgesExtension(t *testing.T) {
+	out, _ := quickRun(t, "E14")
+	// Epochs are mixing-limited: the correctly scaled extension must be
+	// roughly neutral (the paper's single fixed ec is essentially optimal).
+	if g := out.Metrics["gain@k=4"]; g < 0.5 || g > 3 {
+		t.Errorf("E14: gain at k=4 is %v, want ~1", g)
+	}
+}
+
+func TestMarkdownRendering(t *testing.T) {
+	e, _ := ByID("E8")
+	var buf bytes.Buffer
+	if _, err := e.Run(&buf, Params{Quick: true, Markdown: true}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "| --- |") {
+		t.Error("markdown mode did not render markdown")
+	}
+}

@@ -1,0 +1,96 @@
+package experiments
+
+import (
+	"fmt"
+
+	"sparsecut/internal/avgtime"
+	"sparsecut/internal/core"
+	"sparsecut/internal/gossip"
+	"sparsecut/internal/graph"
+	"sparsecut/internal/rng"
+	"sparsecut/internal/spectral"
+)
+
+// defaultSpectralOpts centralises the eigensolver settings used across
+// experiments.
+func defaultSpectralOpts() spectral.Options { return spectral.Options{} }
+
+// measureConvex estimates Tav for a class-C algorithm (monotone variance,
+// so the estimator may stop exactly at the threshold: MarginFactor 1).
+func measureConvex(g *graph.Graph, x0 []float64, alpha float64, trials int, seed uint64, maxTime float64) (avgtime.Result, error) {
+	factory := func(int, *rng.RNG) (gossip.Algorithm, error) {
+		if alpha == 0.5 {
+			return gossip.NewVanilla(g, x0)
+		}
+		return gossip.NewConvex(g, x0, alpha)
+	}
+	return avgtime.Estimate(g, factory, avgtime.Config{
+		Trials:       trials,
+		Seed:         seed,
+		MaxTime:      maxTime,
+		MarginFactor: 1, // convex updates never re-inflate the variance
+	})
+}
+
+// measureAlgorithmA estimates Tav for Algorithm A with the given options.
+func measureAlgorithmA(g *graph.Graph, x0 []float64, trials int, seed uint64, maxTime float64, opts ...core.Option) (avgtime.Result, error) {
+	factory := func(int, *rng.RNG) (gossip.Algorithm, error) {
+		return core.New(g, x0, opts...)
+	}
+	return avgtime.Estimate(g, factory, avgtime.Config{
+		Trials:  trials,
+		Seed:    seed,
+		MaxTime: maxTime,
+	})
+}
+
+// dumbbellCase builds the symmetric dumbbell workload with its worst-case
+// initial vector.
+func dumbbellCase(n, cutEdges int) (*graph.Graph, *graph.Partition, []float64, error) {
+	g, p, err := graph.SymmetricDumbbell(n, cutEdges)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	return g, p, gossip.CutIndicator(p), nil
+}
+
+// pick returns quick when Params.Quick is set, full otherwise.
+func pick[T any](p Params, quick, full T) T {
+	if p.Quick {
+		return quick
+	}
+	return full
+}
+
+// measuredSideTvans empirically measures Tvan on the two side subgraphs of
+// a partition — the estimator pathway the paper's K formula actually wants
+// (it is defined in terms of Tvan itself, not an upper bound on it).
+func measuredSideTvans(part *graph.Partition, seed uint64) (tvan1, tvan2 float64, err error) {
+	for i, s := range []graph.Side{graph.Side1, graph.Side2} {
+		sub, _ := part.Subgraph(s)
+		res, err := avgtime.MeasureTvan(sub, avgtime.Config{
+			Trials:       5,
+			Seed:         seed + uint64(i),
+			MaxTime:      10 * float64(sub.NumNodes()),
+			MarginFactor: 1, // vanilla is monotone
+		})
+		if err != nil {
+			return 0, 0, fmt.Errorf("measuring Tvan of %v side: %w", s, err)
+		}
+		if i == 0 {
+			tvan1 = res.Tav
+		} else {
+			tvan2 = res.Tav
+		}
+	}
+	return tvan1, tvan2, nil
+}
+
+// fmtCensored annotates a Tav value with a ">=" marker when trials were
+// censored at MaxTime (the value is then a lower bound).
+func fmtCensored(tav float64, censored int) string {
+	if censored > 0 {
+		return fmt.Sprintf(">=%.4g", tav)
+	}
+	return fmt.Sprintf("%.4g", tav)
+}

@@ -1,0 +1,72 @@
+package gossip
+
+import (
+	"fmt"
+
+	"sparsecut/internal/graph"
+	"sparsecut/internal/rng"
+)
+
+// Initial-value constructors for the experiment suite. All vectors are
+// returned with length g.NumNodes() conventions of their constructors.
+
+// CutIndicator returns the paper's worst-case initial vector for a
+// partition: +1 on V1 and −n1/n2 on V2, which has mean exactly zero and
+// concentrates all variance across the cut (Section 2 of the paper).
+func CutIndicator(p *graph.Partition) []float64 {
+	n := p.Graph().NumNodes()
+	n1 := float64(p.Size1())
+	n2 := float64(p.Size2())
+	x := make([]float64, n)
+	for u := 0; u < n; u++ {
+		if p.SideOf(graph.NodeID(u)) == graph.Side1 {
+			x[u] = 1
+		} else {
+			x[u] = -n1 / n2
+		}
+	}
+	return x
+}
+
+// Spike returns the vector that is 1 at node src and 0 elsewhere — the
+// "single informed node" initial condition. It returns an error when src is
+// out of range.
+func Spike(n int, src graph.NodeID) ([]float64, error) {
+	if src < 0 || int(src) >= n {
+		return nil, fmt.Errorf("gossip: spike node %d outside [0,%d)", src, n)
+	}
+	x := make([]float64, n)
+	x[src] = 1
+	return x, nil
+}
+
+// UniformRandom returns n i.i.d. values uniform on [-1, 1).
+func UniformRandom(r *rng.RNG, n int) []float64 {
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = 2*r.Float64() - 1
+	}
+	return x
+}
+
+// GaussianRandom returns n i.i.d. standard normal values.
+func GaussianRandom(r *rng.RNG, n int) []float64 {
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = r.NormFloat64()
+	}
+	return x
+}
+
+// Linear returns the ramp x[i] = i/(n-1) (all zeros for n < 2): a smooth
+// non-adversarial initial condition.
+func Linear(n int) []float64 {
+	x := make([]float64, n)
+	if n < 2 {
+		return x
+	}
+	for i := range x {
+		x[i] = float64(i) / float64(n-1)
+	}
+	return x
+}

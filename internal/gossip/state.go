@@ -1,0 +1,124 @@
+// Package gossip implements the distributed-averaging algorithms the paper
+// compares against — vanilla pairwise gossip, the general convex class C of
+// Definition 2, and a push-sum baseline — together with the shared value
+// state they (and the paper's Algorithm A in internal/core) operate on.
+//
+// The State type maintains the running sum and sum of squares of the value
+// vector incrementally, so the variance the paper's averaging-time metric
+// needs is available in O(1) after every event rather than O(n).
+package gossip
+
+import (
+	"fmt"
+	"math"
+)
+
+// resyncInterval bounds floating-point drift of the incremental moments:
+// after this many point updates the sums are recomputed exactly.
+const resyncInterval = 1 << 16
+
+// State holds the node values of an averaging process plus incrementally
+// maintained first and second moments.
+//
+// Internally the values are stored centered by the initial mean (algorithms
+// in this repository are linear and shift-invariant, so running them on
+// centered values is equivalent); this avoids the catastrophic cancellation
+// that computing Σx² − (Σx)²/n would suffer once the process has converged
+// to a large common mean. Values() reconstructs the original frame.
+type State struct {
+	offset  float64 // initial mean, added back on read
+	y       []float64
+	sum     float64 // Σy
+	sumSq   float64 // Σy²
+	updates int     // point updates since the last exact resync
+}
+
+// NewState initialises state from the vector x0 (copied, not aliased).
+func NewState(x0 []float64) *State {
+	s := &State{y: append([]float64(nil), x0...)}
+	if len(x0) > 0 {
+		m := 0.0
+		for _, v := range x0 {
+			m += v
+		}
+		s.offset = m / float64(len(x0))
+		for i := range s.y {
+			s.y[i] -= s.offset
+		}
+	}
+	s.resync()
+	return s
+}
+
+// N returns the number of nodes.
+func (s *State) N() int { return len(s.y) }
+
+// Get returns the value at node i in the original (uncentered) frame.
+func (s *State) Get(i int) float64 { return s.y[i] + s.offset }
+
+// Set assigns node i the value v (original frame), updating the moments in
+// O(1).
+func (s *State) Set(i int, v float64) {
+	old := s.y[i]
+	c := v - s.offset
+	s.y[i] = c
+	s.sum += c - old
+	s.sumSq += c*c - old*old
+	s.updates++
+	if s.updates >= resyncInterval {
+		s.resync()
+	}
+}
+
+// Values returns a fresh copy of the value vector in the original frame.
+func (s *State) Values() []float64 {
+	out := make([]float64, len(s.y))
+	for i, v := range s.y {
+		out[i] = v + s.offset
+	}
+	return out
+}
+
+// Mean returns the current average value. For the sum-preserving algorithms
+// in this repository it is invariant over time up to float rounding.
+func (s *State) Mean() float64 {
+	if len(s.y) == 0 {
+		return math.NaN()
+	}
+	return s.offset + s.sum/float64(len(s.y))
+}
+
+// Sum returns the current total Σx in the original frame.
+func (s *State) Sum() float64 {
+	return s.sum + s.offset*float64(len(s.y))
+}
+
+// Variance returns the paper's varX: the population variance of the value
+// vector, maintained incrementally.
+func (s *State) Variance() float64 {
+	n := float64(len(s.y))
+	if n == 0 {
+		return 0
+	}
+	m := s.sum / n
+	v := s.sumSq/n - m*m
+	if v < 0 { // float rounding can push a converged process slightly negative
+		return 0
+	}
+	return v
+}
+
+// resync recomputes the moments exactly.
+func (s *State) resync() {
+	s.sum, s.sumSq = 0, 0
+	for _, v := range s.y {
+		s.sum += v
+		s.sumSq += v * v
+	}
+	s.updates = 0
+}
+
+// String describes the state compactly.
+func (s *State) String() string {
+	return fmt.Sprintf("state(n=%d, mean=%.6g, var=%.6g)", s.N(), s.Mean(), s.Variance())
+}

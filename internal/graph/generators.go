@@ -1,0 +1,174 @@
+package graph
+
+// This file holds the deterministic graph generators. Random generators
+// live in random.go; composite sparse-cut constructions in dumbbell.go.
+
+import (
+	"fmt"
+	"math"
+)
+
+// Complete returns the complete graph K_n. It panics if n < 1.
+func Complete(n int) *Graph {
+	b := NewBuilder(n).SetName(fmt.Sprintf("complete(n=%d)", n))
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			b.AddEdge(NodeID(u), NodeID(v))
+		}
+	}
+	return b.MustBuild()
+}
+
+// Path returns the path graph P_n (n-1 edges). It panics if n < 1.
+func Path(n int) *Graph {
+	b := NewBuilder(n).SetName(fmt.Sprintf("path(n=%d)", n))
+	for u := 0; u+1 < n; u++ {
+		b.AddEdge(NodeID(u), NodeID(u+1))
+	}
+	return b.MustBuild()
+}
+
+// Cycle returns the cycle C_n. It panics if n < 3.
+func Cycle(n int) *Graph {
+	if n < 3 {
+		panic(fmt.Sprintf("graph: cycle needs n >= 3, got %d", n))
+	}
+	b := NewBuilder(n).SetName(fmt.Sprintf("cycle(n=%d)", n))
+	for u := 0; u < n; u++ {
+		b.AddEdge(NodeID(u), NodeID((u+1)%n))
+	}
+	return b.MustBuild()
+}
+
+// Star returns the star K_{1,n-1} with node 0 as the hub. It panics if n < 2.
+func Star(n int) *Graph {
+	if n < 2 {
+		panic(fmt.Sprintf("graph: star needs n >= 2, got %d", n))
+	}
+	b := NewBuilder(n).SetName(fmt.Sprintf("star(n=%d)", n))
+	for u := 1; u < n; u++ {
+		b.AddEdge(0, NodeID(u))
+	}
+	return b.MustBuild()
+}
+
+// Grid returns the rows x cols 2-D lattice with 4-neighbour connectivity.
+// Node (r, c) has ID r*cols + c. It panics unless rows, cols >= 1.
+func Grid(rows, cols int) *Graph {
+	if rows < 1 || cols < 1 {
+		panic(fmt.Sprintf("graph: grid needs positive dims, got %dx%d", rows, cols))
+	}
+	b := NewBuilder(rows * cols).
+		SetName(fmt.Sprintf("grid(%dx%d)", rows, cols)).
+		SetPositions(gridPositions(rows, cols))
+	id := func(r, c int) NodeID { return NodeID(r*cols + c) }
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			if c+1 < cols {
+				b.AddEdge(id(r, c), id(r, c+1))
+			}
+			if r+1 < rows {
+				b.AddEdge(id(r, c), id(r+1, c))
+			}
+		}
+	}
+	return b.MustBuild()
+}
+
+// Torus returns the rows x cols lattice with wraparound (each node has
+// degree 4 when rows, cols >= 3). It panics unless rows, cols >= 3.
+func Torus(rows, cols int) *Graph {
+	if rows < 3 || cols < 3 {
+		panic(fmt.Sprintf("graph: torus needs dims >= 3, got %dx%d", rows, cols))
+	}
+	b := NewBuilder(rows * cols).SetName(fmt.Sprintf("torus(%dx%d)", rows, cols))
+	id := func(r, c int) NodeID { return NodeID(r*cols + c) }
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			b.AddEdge(id(r, c), id(r, (c+1)%cols))
+			b.AddEdge(id(r, c), id((r+1)%rows, c))
+		}
+	}
+	return b.MustBuild()
+}
+
+// Hypercube returns the d-dimensional hypercube Q_d on 2^d nodes. It panics
+// if d < 0 or d > 20 (guard against absurd sizes).
+func Hypercube(d int) *Graph {
+	if d < 0 || d > 20 {
+		panic(fmt.Sprintf("graph: hypercube dimension %d out of [0,20]", d))
+	}
+	n := 1 << uint(d)
+	b := NewBuilder(n).SetName(fmt.Sprintf("hypercube(d=%d)", d))
+	for u := 0; u < n; u++ {
+		for bit := 0; bit < d; bit++ {
+			v := u ^ (1 << uint(bit))
+			if u < v {
+				b.AddEdge(NodeID(u), NodeID(v))
+			}
+		}
+	}
+	return b.MustBuild()
+}
+
+// CompleteBipartite returns K_{a,b}: nodes 0..a-1 on the left, a..a+b-1 on
+// the right. It panics unless a, b >= 1.
+func CompleteBipartite(a, bCount int) *Graph {
+	if a < 1 || bCount < 1 {
+		panic(fmt.Sprintf("graph: complete bipartite needs positive sides, got %d,%d", a, bCount))
+	}
+	b := NewBuilder(a + bCount).SetName(fmt.Sprintf("bipartite(%d,%d)", a, bCount))
+	for u := 0; u < a; u++ {
+		for v := a; v < a+bCount; v++ {
+			b.AddEdge(NodeID(u), NodeID(v))
+		}
+	}
+	return b.MustBuild()
+}
+
+// BinaryTree returns the complete binary tree with the given number of
+// levels (level 1 = a single root). It panics if levels < 1 or levels > 24.
+func BinaryTree(levels int) *Graph {
+	if levels < 1 || levels > 24 {
+		panic(fmt.Sprintf("graph: binary tree levels %d out of [1,24]", levels))
+	}
+	n := 1<<uint(levels) - 1
+	b := NewBuilder(n).SetName(fmt.Sprintf("bintree(levels=%d)", levels))
+	for u := 1; u < n; u++ {
+		b.AddEdge(NodeID((u-1)/2), NodeID(u))
+	}
+	return b.MustBuild()
+}
+
+// Lollipop returns a clique of size m attached to a path of length tail
+// (the classic slow-mixing example). It panics unless m >= 1, tail >= 0.
+func Lollipop(m, tail int) *Graph {
+	if m < 1 || tail < 0 {
+		panic(fmt.Sprintf("graph: lollipop needs m >= 1, tail >= 0, got %d, %d", m, tail))
+	}
+	b := NewBuilder(m + tail).SetName(fmt.Sprintf("lollipop(m=%d,tail=%d)", m, tail))
+	for u := 0; u < m; u++ {
+		for v := u + 1; v < m; v++ {
+			b.AddEdge(NodeID(u), NodeID(v))
+		}
+	}
+	for u := m - 1; u < m+tail-1; u++ {
+		b.AddEdge(NodeID(u), NodeID(u+1))
+	}
+	return b.MustBuild()
+}
+
+// gridPositions lays rows x cols nodes on the unit square, used by DOT
+// export of lattice graphs for nicer rendering.
+func gridPositions(rows, cols int) []Point {
+	pos := make([]Point, rows*cols)
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			pos[r*cols+c] = Point{
+				X: float64(c) / math.Max(1, float64(cols-1)),
+				Y: float64(r) / math.Max(1, float64(rows-1)),
+			}
+		}
+	}
+	return pos
+}

@@ -1,0 +1,308 @@
+package graph
+
+import (
+	"testing"
+
+	"sparsecut/internal/rng"
+)
+
+func TestComplete(t *testing.T) {
+	for _, n := range []int{1, 2, 5, 10} {
+		g := Complete(n)
+		if g.NumNodes() != n {
+			t.Errorf("K_%d: %d nodes", n, g.NumNodes())
+		}
+		if want := n * (n - 1) / 2; g.NumEdges() != want {
+			t.Errorf("K_%d: %d edges, want %d", n, g.NumEdges(), want)
+		}
+		for u := 0; u < n; u++ {
+			if g.Degree(NodeID(u)) != n-1 {
+				t.Errorf("K_%d: node %d degree %d", n, u, g.Degree(NodeID(u)))
+			}
+		}
+	}
+}
+
+func TestPath(t *testing.T) {
+	g := Path(6)
+	if g.NumEdges() != 5 {
+		t.Errorf("P_6 has %d edges", g.NumEdges())
+	}
+	if d := Diameter(g); d != 5 {
+		t.Errorf("P_6 diameter %d", d)
+	}
+	if g.Degree(0) != 1 || g.Degree(3) != 2 {
+		t.Error("wrong path degrees")
+	}
+	if Path(1).NumEdges() != 0 {
+		t.Error("P_1 should have no edges")
+	}
+}
+
+func TestCycle(t *testing.T) {
+	g := Cycle(7)
+	if g.NumEdges() != 7 {
+		t.Errorf("C_7 has %d edges", g.NumEdges())
+	}
+	for u := 0; u < 7; u++ {
+		if g.Degree(NodeID(u)) != 2 {
+			t.Errorf("C_7 node %d degree %d", u, g.Degree(NodeID(u)))
+		}
+	}
+	if d := Diameter(g); d != 3 {
+		t.Errorf("C_7 diameter %d, want 3", d)
+	}
+}
+
+func TestCyclePanicsSmall(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Cycle(2) did not panic")
+		}
+	}()
+	Cycle(2)
+}
+
+func TestStar(t *testing.T) {
+	g := Star(9)
+	if g.Degree(0) != 8 {
+		t.Errorf("hub degree %d", g.Degree(0))
+	}
+	for u := 1; u < 9; u++ {
+		if g.Degree(NodeID(u)) != 1 {
+			t.Errorf("leaf %d degree %d", u, g.Degree(NodeID(u)))
+		}
+	}
+	if d := Diameter(g); d != 2 {
+		t.Errorf("star diameter %d", d)
+	}
+}
+
+func TestGrid(t *testing.T) {
+	g := Grid(3, 4)
+	if g.NumNodes() != 12 {
+		t.Errorf("%d nodes", g.NumNodes())
+	}
+	// edges: 3*(4-1) horizontal + (3-1)*4 vertical = 9 + 8 = 17
+	if g.NumEdges() != 17 {
+		t.Errorf("%d edges, want 17", g.NumEdges())
+	}
+	if !IsConnected(g) {
+		t.Error("grid disconnected")
+	}
+	if !g.HasPositions() {
+		t.Error("grid should carry positions")
+	}
+	if d := Diameter(g); d != 5 {
+		t.Errorf("3x4 grid diameter %d, want 5", d)
+	}
+}
+
+func TestTorus(t *testing.T) {
+	g := Torus(4, 5)
+	if g.NumEdges() != 2*4*5 {
+		t.Errorf("%d edges, want 40", g.NumEdges())
+	}
+	for u := 0; u < g.NumNodes(); u++ {
+		if g.Degree(NodeID(u)) != 4 {
+			t.Errorf("torus node %d degree %d", u, g.Degree(NodeID(u)))
+		}
+	}
+}
+
+func TestHypercube(t *testing.T) {
+	g := Hypercube(4)
+	if g.NumNodes() != 16 || g.NumEdges() != 32 {
+		t.Errorf("Q_4: %d nodes %d edges", g.NumNodes(), g.NumEdges())
+	}
+	for u := 0; u < 16; u++ {
+		if g.Degree(NodeID(u)) != 4 {
+			t.Error("Q_4 not 4-regular")
+		}
+	}
+	if d := Diameter(g); d != 4 {
+		t.Errorf("Q_4 diameter %d", d)
+	}
+	if g0 := Hypercube(0); g0.NumNodes() != 1 || g0.NumEdges() != 0 {
+		t.Error("Q_0 should be a single node")
+	}
+}
+
+func TestCompleteBipartite(t *testing.T) {
+	g := CompleteBipartite(3, 4)
+	if g.NumEdges() != 12 {
+		t.Errorf("%d edges", g.NumEdges())
+	}
+	if g.Degree(0) != 4 || g.Degree(5) != 3 {
+		t.Error("wrong bipartite degrees")
+	}
+}
+
+func TestBinaryTree(t *testing.T) {
+	g := BinaryTree(4)
+	if g.NumNodes() != 15 || g.NumEdges() != 14 {
+		t.Errorf("%d nodes %d edges", g.NumNodes(), g.NumEdges())
+	}
+	if !IsConnected(g) {
+		t.Error("tree disconnected")
+	}
+	if d := Diameter(g); d != 6 {
+		t.Errorf("diameter %d, want 6", d)
+	}
+}
+
+func TestLollipop(t *testing.T) {
+	g := Lollipop(5, 3)
+	if g.NumNodes() != 8 {
+		t.Errorf("%d nodes", g.NumNodes())
+	}
+	if want := 5*4/2 + 3; g.NumEdges() != want {
+		t.Errorf("%d edges, want %d", g.NumEdges(), want)
+	}
+	if !IsConnected(g) {
+		t.Error("lollipop disconnected")
+	}
+	if g.Degree(7) != 1 {
+		t.Error("tail end should have degree 1")
+	}
+}
+
+func TestGnPExtremes(t *testing.T) {
+	r := rng.New(1)
+	if g := GnP(r, 10, 0); g.NumEdges() != 0 {
+		t.Error("G(10,0) has edges")
+	}
+	if g := GnP(r, 10, 1); g.NumEdges() != 45 {
+		t.Errorf("G(10,1) has %d edges, want 45", g.NumEdges())
+	}
+}
+
+func TestGnPEdgeCount(t *testing.T) {
+	r := rng.New(2)
+	n, p := 60, 0.25
+	total := 0
+	const reps = 30
+	for i := 0; i < reps; i++ {
+		total += GnP(r, n, p).NumEdges()
+	}
+	mean := float64(total) / reps
+	want := p * float64(n*(n-1)/2)
+	if mean < want*0.9 || mean > want*1.1 {
+		t.Errorf("G(n,p) mean edge count %v, want ~%v", mean, want)
+	}
+}
+
+func TestGnPConnected(t *testing.T) {
+	r := rng.New(3)
+	g, err := GnPConnected(r, 30, 0.3, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !IsConnected(g) {
+		t.Error("GnPConnected returned disconnected graph")
+	}
+	if _, err := GnPConnected(r, 30, 0.0, 3); err == nil {
+		t.Error("expected failure for p=0")
+	}
+}
+
+func TestRandomRegular(t *testing.T) {
+	r := rng.New(4)
+	g, err := RandomRegular(r, 20, 4, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for u := 0; u < 20; u++ {
+		if g.Degree(NodeID(u)) != 4 {
+			t.Fatalf("node %d degree %d, want 4", u, g.Degree(NodeID(u)))
+		}
+	}
+}
+
+func TestRandomRegularErrors(t *testing.T) {
+	r := rng.New(5)
+	if _, err := RandomRegular(r, 5, 3, 10); err == nil {
+		t.Error("odd n*d not rejected")
+	}
+	if _, err := RandomRegular(r, 4, 4, 10); err == nil {
+		t.Error("d >= n not rejected")
+	}
+	if _, err := RandomRegular(r, -1, 2, 10); err == nil {
+		t.Error("negative n not rejected")
+	}
+}
+
+func TestRGG(t *testing.T) {
+	r := rng.New(6)
+	g := RGG(r, 40, 0.5)
+	if !g.HasPositions() {
+		t.Fatal("RGG missing positions")
+	}
+	// Check the geometric predicate on a few pairs.
+	for id, e := range g.Edges() {
+		pu, pv := g.Position(e.U), g.Position(e.V)
+		dx, dy := pu.X-pv.X, pu.Y-pv.Y
+		if dx*dx+dy*dy >= 0.25 {
+			t.Fatalf("edge %d joins nodes at distance >= radius", id)
+		}
+	}
+}
+
+func TestRGGConnected(t *testing.T) {
+	r := rng.New(7)
+	g, err := RGGConnected(r, 50, 0.5, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !IsConnected(g) {
+		t.Error("RGGConnected returned disconnected graph")
+	}
+}
+
+func TestConnectivityRadius(t *testing.T) {
+	if r := ConnectivityRadius(1); r != 1 {
+		t.Errorf("radius for n=1: %v", r)
+	}
+	r100 := ConnectivityRadius(100)
+	if r100 <= 0 || r100 > 1 {
+		t.Errorf("radius for n=100: %v", r100)
+	}
+	if ConnectivityRadius(1000) >= r100 {
+		t.Error("radius should shrink with n")
+	}
+}
+
+func TestWalledRGG(t *testing.T) {
+	r := rng.New(8)
+	g, part, err := WalledRGG(r, 80, 0.35, 2, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if part.CutSize() != 2 {
+		t.Errorf("cut size %d, want 2 (doors)", part.CutSize())
+	}
+	if !SidesInternallyConnected(part) {
+		t.Error("walled RGG sides not internally connected")
+	}
+	if !IsConnected(g) {
+		t.Error("walled RGG disconnected")
+	}
+	// All nodes on side 1 should be left of the wall.
+	for u := 0; u < g.NumNodes(); u++ {
+		left := g.Position(NodeID(u)).X < 0.5
+		if left != (part.SideOf(NodeID(u)) == Side1) {
+			t.Fatalf("node %d on wrong side", u)
+		}
+	}
+}
+
+func TestWalledRGGErrors(t *testing.T) {
+	r := rng.New(9)
+	if _, _, err := WalledRGG(r, 50, 0.3, 0, 10); err == nil {
+		t.Error("doors=0 not rejected")
+	}
+	// Tiny radius cannot produce crossings.
+	if _, _, err := WalledRGG(r, 10, 0.01, 1, 3); err == nil {
+		t.Error("impossible construction did not fail")
+	}
+}

@@ -1,0 +1,262 @@
+// Package graph provides the immutable undirected-graph substrate used by
+// every simulator and experiment in this repository: a compact adjacency
+// representation, a validating builder, a library of generators (complete
+// graphs, dumbbells, random graphs, geometric graphs, ...), vertex
+// partitions with cut/conductance accounting, traversal utilities, and
+// plain-text I/O.
+//
+// Graphs are simple (no self-loops, no parallel edges) and undirected.
+// Nodes are identified by dense integer IDs in [0, NumNodes), edges by dense
+// IDs in [0, NumEdges) — both are stable for the lifetime of the graph,
+// which lets simulators index per-edge state with plain slices.
+package graph
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// NodeID identifies a vertex. IDs are dense: 0 <= id < NumNodes().
+type NodeID int32
+
+// EdgeID identifies an edge. IDs are dense: 0 <= id < NumEdges().
+type EdgeID int32
+
+// Edge is an undirected edge between two distinct nodes. The constructor
+// normalises so that U < V.
+type Edge struct {
+	U, V NodeID
+}
+
+// NewEdge returns the normalised edge {u, v} with U < V.
+func NewEdge(u, v NodeID) Edge {
+	if u > v {
+		u, v = v, u
+	}
+	return Edge{U: u, V: v}
+}
+
+// Other returns the endpoint of e that is not x. It panics if x is not an
+// endpoint of e.
+func (e Edge) Other(x NodeID) NodeID {
+	switch x {
+	case e.U:
+		return e.V
+	case e.V:
+		return e.U
+	}
+	panic(fmt.Sprintf("graph: node %d is not an endpoint of edge %v", x, e))
+}
+
+// String renders the edge as "u-v".
+func (e Edge) String() string { return fmt.Sprintf("%d-%d", e.U, e.V) }
+
+// HalfEdge is one directed half of an undirected edge as seen from a node's
+// adjacency list.
+type HalfEdge struct {
+	Peer NodeID // the neighbouring node
+	Edge EdgeID // the undirected edge connecting them
+}
+
+// Graph is an immutable simple undirected graph. Construct with a Builder
+// or one of the generators. The zero value is an empty graph with no nodes.
+type Graph struct {
+	name  string
+	edges []Edge
+	adj   [][]HalfEdge
+	// pos holds optional 2-D coordinates (geometric generators); nil otherwise.
+	pos []Point
+}
+
+// Point is a 2-D coordinate attached to nodes of geometric graphs.
+type Point struct {
+	X, Y float64
+}
+
+// Name returns the human-readable graph name ("" if unset).
+func (g *Graph) Name() string { return g.name }
+
+// NumNodes returns |V|.
+func (g *Graph) NumNodes() int { return len(g.adj) }
+
+// NumEdges returns |E|.
+func (g *Graph) NumEdges() int { return len(g.edges) }
+
+// Edge returns the endpoints of edge id. It panics on an out-of-range id.
+func (g *Graph) Edge(id EdgeID) Edge { return g.edges[id] }
+
+// Edges returns the full edge list. The caller must not modify it.
+func (g *Graph) Edges() []Edge { return g.edges }
+
+// Degree returns the number of neighbours of node u.
+func (g *Graph) Degree(u NodeID) int { return len(g.adj[u]) }
+
+// Neighbors returns u's adjacency list. The caller must not modify it.
+func (g *Graph) Neighbors(u NodeID) []HalfEdge { return g.adj[u] }
+
+// MaxDegree returns the largest degree in the graph (0 for an empty graph).
+func (g *Graph) MaxDegree() int {
+	m := 0
+	for _, a := range g.adj {
+		if len(a) > m {
+			m = len(a)
+		}
+	}
+	return m
+}
+
+// HasPositions reports whether nodes carry geometric coordinates.
+func (g *Graph) HasPositions() bool { return g.pos != nil }
+
+// Position returns the coordinate of node u, or the zero Point when the
+// graph carries no positions.
+func (g *Graph) Position(u NodeID) Point {
+	if g.pos == nil {
+		return Point{}
+	}
+	return g.pos[u]
+}
+
+// FindEdge returns the edge id connecting u and v, if any.
+func (g *Graph) FindEdge(u, v NodeID) (EdgeID, bool) {
+	if int(u) >= g.NumNodes() || int(v) >= g.NumNodes() || u < 0 || v < 0 {
+		return 0, false
+	}
+	// Scan the shorter adjacency list.
+	if g.Degree(u) > g.Degree(v) {
+		u, v = v, u
+	}
+	for _, he := range g.adj[u] {
+		if he.Peer == v {
+			return he.Edge, true
+		}
+	}
+	return 0, false
+}
+
+// String renders a short description like "dumbbell(n=64): 64 nodes, 993 edges".
+func (g *Graph) String() string {
+	name := g.name
+	if name == "" {
+		name = "graph"
+	}
+	return fmt.Sprintf("%s: %d nodes, %d edges", name, g.NumNodes(), g.NumEdges())
+}
+
+// Builder accumulates edges and produces an immutable Graph. The zero value
+// is ready to use. Builders are not safe for concurrent use.
+type Builder struct {
+	n     int
+	edges map[Edge]struct{}
+	order []Edge // insertion order, for deterministic edge IDs
+	name  string
+	pos   []Point
+	err   error
+}
+
+// NewBuilder returns a builder for a graph with n nodes (IDs 0..n-1).
+func NewBuilder(n int) *Builder {
+	b := &Builder{edges: make(map[Edge]struct{})}
+	if n < 0 {
+		b.err = fmt.Errorf("graph: negative node count %d", n)
+		return b
+	}
+	b.n = n
+	return b
+}
+
+// SetName sets the graph's human-readable name.
+func (b *Builder) SetName(name string) *Builder {
+	b.name = name
+	return b
+}
+
+// SetPositions attaches 2-D coordinates; len(pos) must equal the node count
+// at Build time.
+func (b *Builder) SetPositions(pos []Point) *Builder {
+	b.pos = pos
+	return b
+}
+
+// AddEdge inserts the undirected edge {u, v}. Self-loops and out-of-range
+// endpoints are recorded as errors reported by Build; duplicate edges are
+// ignored so generators may be sloppy about double insertion.
+func (b *Builder) AddEdge(u, v NodeID) *Builder {
+	if b.err != nil {
+		return b
+	}
+	if u == v {
+		b.err = fmt.Errorf("graph: self-loop at node %d", u)
+		return b
+	}
+	if u < 0 || v < 0 || int(u) >= b.n || int(v) >= b.n {
+		b.err = fmt.Errorf("graph: edge {%d,%d} out of range [0,%d)", u, v, b.n)
+		return b
+	}
+	e := NewEdge(u, v)
+	if _, dup := b.edges[e]; dup {
+		return b
+	}
+	b.edges[e] = struct{}{}
+	b.order = append(b.order, e)
+	return b
+}
+
+// HasEdge reports whether {u,v} has been added.
+func (b *Builder) HasEdge(u, v NodeID) bool {
+	_, ok := b.edges[NewEdge(u, v)]
+	return ok
+}
+
+// NumEdges returns the number of distinct edges added so far.
+func (b *Builder) NumEdges() int { return len(b.order) }
+
+// Build validates and returns the immutable graph. The builder may be
+// reused afterwards (further AddEdge calls do not affect the built graph).
+func (b *Builder) Build() (*Graph, error) {
+	if b.err != nil {
+		return nil, b.err
+	}
+	if b.pos != nil && len(b.pos) != b.n {
+		return nil, fmt.Errorf("graph: %d positions for %d nodes", len(b.pos), b.n)
+	}
+	g := &Graph{
+		name:  b.name,
+		edges: append([]Edge(nil), b.order...),
+		adj:   make([][]HalfEdge, b.n),
+	}
+	if b.pos != nil {
+		g.pos = append([]Point(nil), b.pos...)
+	}
+	for id, e := range g.edges {
+		g.adj[e.U] = append(g.adj[e.U], HalfEdge{Peer: e.V, Edge: EdgeID(id)})
+		g.adj[e.V] = append(g.adj[e.V], HalfEdge{Peer: e.U, Edge: EdgeID(id)})
+	}
+	// Deterministic neighbour order regardless of insertion order.
+	for _, a := range g.adj {
+		sort.Slice(a, func(i, j int) bool { return a[i].Peer < a[j].Peer })
+	}
+	return g, nil
+}
+
+// MustBuild is Build for generators with no failure mode; it panics on error.
+func (b *Builder) MustBuild() *Graph {
+	g, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// ErrDisconnected is returned by validators that require connectivity.
+var ErrDisconnected = errors.New("graph: graph is not connected")
+
+// RequireConnected returns ErrDisconnected (wrapped with the graph name)
+// unless g is connected and non-empty.
+func RequireConnected(g *Graph) error {
+	if g.NumNodes() == 0 || !IsConnected(g) {
+		return fmt.Errorf("%s: %w", g.String(), ErrDisconnected)
+	}
+	return nil
+}

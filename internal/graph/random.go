@@ -1,0 +1,243 @@
+package graph
+
+// Random graph generators. All take an explicit *rng.RNG so experiments are
+// reproducible from a single seed.
+
+import (
+	"fmt"
+	"math"
+
+	"sparsecut/internal/rng"
+)
+
+// GnP returns an Erdős–Rényi graph G(n, p): each of the C(n,2) candidate
+// edges is present independently with probability p. The result may be
+// disconnected; callers that need connectivity should check RequireConnected
+// or use GnPConnected. It panics if n < 0 or p outside [0, 1].
+func GnP(r *rng.RNG, n int, p float64) *Graph {
+	if p < 0 || p > 1 {
+		panic(fmt.Sprintf("graph: GnP probability %v outside [0,1]", p))
+	}
+	b := NewBuilder(n).SetName(fmt.Sprintf("gnp(n=%d,p=%.3g)", n, p))
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			if r.Float64() < p {
+				b.AddEdge(NodeID(u), NodeID(v))
+			}
+		}
+	}
+	return b.MustBuild()
+}
+
+// GnPConnected retries GnP until the sample is connected, up to maxTries
+// attempts. It returns an error when every attempt fails (p too small).
+func GnPConnected(r *rng.RNG, n int, p float64, maxTries int) (*Graph, error) {
+	for try := 0; try < maxTries; try++ {
+		g := GnP(r, n, p)
+		if IsConnected(g) {
+			return g, nil
+		}
+	}
+	return nil, fmt.Errorf("graph: no connected G(%d, %v) sample in %d tries", n, p, maxTries)
+}
+
+// RandomRegular returns a d-regular graph on n nodes sampled with the
+// configuration (pairing) model, rejecting pairings that create self-loops
+// or multi-edges. It returns an error if n*d is odd, d >= n, or no simple
+// pairing is found within maxTries attempts.
+func RandomRegular(r *rng.RNG, n, d, maxTries int) (*Graph, error) {
+	if d < 0 || n < 0 {
+		return nil, fmt.Errorf("graph: RandomRegular(n=%d, d=%d): negative parameter", n, d)
+	}
+	if n*d%2 != 0 {
+		return nil, fmt.Errorf("graph: RandomRegular(n=%d, d=%d): n*d must be even", n, d)
+	}
+	if d >= n && !(d == 0 && n <= 1) {
+		return nil, fmt.Errorf("graph: RandomRegular(n=%d, d=%d): need d < n", n, d)
+	}
+	// Steger–Wormald style stub matching: repeatedly pair two random
+	// unmatched stubs, rejecting only the illegal pair (self-loop or
+	// duplicate) rather than the whole pairing. Restart when stuck.
+	for try := 0; try < maxTries; try++ {
+		stubs := make([]int, 0, n*d)
+		for u := 0; u < n; u++ {
+			for k := 0; k < d; k++ {
+				stubs = append(stubs, u)
+			}
+		}
+		b := NewBuilder(n).SetName(fmt.Sprintf("regular(n=%d,d=%d)", n, d))
+		stuck := false
+		for len(stubs) > 0 && !stuck {
+			// Give each pairing a bounded number of local attempts before
+			// declaring the residual stub set unmatchable.
+			attempts := 0
+			for {
+				if attempts > 100+len(stubs)*len(stubs) {
+					stuck = true
+					break
+				}
+				attempts++
+				i := r.Intn(len(stubs))
+				j := r.Intn(len(stubs))
+				if i == j {
+					continue
+				}
+				u, v := NodeID(stubs[i]), NodeID(stubs[j])
+				if u == v || b.HasEdge(u, v) {
+					continue
+				}
+				b.AddEdge(u, v)
+				// Remove both stubs (higher index first).
+				if i < j {
+					i, j = j, i
+				}
+				stubs[i] = stubs[len(stubs)-1]
+				stubs = stubs[:len(stubs)-1]
+				stubs[j] = stubs[len(stubs)-1]
+				stubs = stubs[:len(stubs)-1]
+				break
+			}
+		}
+		if stuck {
+			continue
+		}
+		g, err := b.Build()
+		if err != nil {
+			return nil, err
+		}
+		return g, nil
+	}
+	return nil, fmt.Errorf("graph: RandomRegular(n=%d, d=%d): no simple pairing in %d tries", n, d, maxTries)
+}
+
+// RGG returns a random geometric graph: n nodes uniform on the unit square,
+// an edge whenever the Euclidean distance is below radius. Positions are
+// attached to the graph. It panics if n < 0 or radius < 0.
+func RGG(r *rng.RNG, n int, radius float64) *Graph {
+	if radius < 0 {
+		panic(fmt.Sprintf("graph: RGG radius %v negative", radius))
+	}
+	pos := make([]Point, n)
+	for i := range pos {
+		pos[i] = Point{X: r.Float64(), Y: r.Float64()}
+	}
+	return rggFromPositions(pos, radius, fmt.Sprintf("rgg(n=%d,r=%.3g)", n, radius))
+}
+
+// ConnectivityRadius returns the standard RGG connectivity threshold
+// sqrt(2 ln n / n), a convenient default radius.
+func ConnectivityRadius(n int) float64 {
+	if n < 2 {
+		return 1
+	}
+	return math.Sqrt(2 * math.Log(float64(n)) / float64(n))
+}
+
+// RGGConnected retries RGG until connected, up to maxTries attempts.
+func RGGConnected(r *rng.RNG, n int, radius float64, maxTries int) (*Graph, error) {
+	for try := 0; try < maxTries; try++ {
+		g := RGG(r, n, radius)
+		if IsConnected(g) {
+			return g, nil
+		}
+	}
+	return nil, fmt.Errorf("graph: no connected RGG(%d, %v) sample in %d tries", n, radius, maxTries)
+}
+
+func rggFromPositions(pos []Point, radius float64, name string) *Graph {
+	n := len(pos)
+	b := NewBuilder(n).SetName(name).SetPositions(pos)
+	r2 := radius * radius
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			dx := pos[u].X - pos[v].X
+			dy := pos[u].Y - pos[v].Y
+			if dx*dx+dy*dy < r2 {
+				b.AddEdge(NodeID(u), NodeID(v))
+			}
+		}
+	}
+	return b.MustBuild()
+}
+
+// WalledRGG returns a random geometric graph on the unit square bisected by
+// a vertical wall at x = 0.5: edges crossing the wall are removed except for
+// the `doors` crossing pairs closest to the wall. This is the sensor-network
+// scenario with a geometrically forced sparse cut (motivated by the paper's
+// reference [6]). The returned partition marks the two sides. The sample is
+// retried until both sides are internally connected and at least one door
+// exists; it returns an error after maxTries attempts.
+func WalledRGG(r *rng.RNG, n int, radius float64, doors, maxTries int) (*Graph, *Partition, error) {
+	if doors < 1 {
+		return nil, nil, fmt.Errorf("graph: WalledRGG needs doors >= 1, got %d", doors)
+	}
+	for try := 0; try < maxTries; try++ {
+		pos := make([]Point, n)
+		for i := range pos {
+			pos[i] = Point{X: r.Float64(), Y: r.Float64()}
+		}
+		g, part, err := buildWalledRGG(pos, radius, doors)
+		if err == nil {
+			return g, part, nil
+		}
+	}
+	return nil, nil, fmt.Errorf("graph: no valid WalledRGG(n=%d, r=%v, doors=%d) in %d tries", n, radius, doors, maxTries)
+}
+
+func buildWalledRGG(pos []Point, radius float64, doors int) (*Graph, *Partition, error) {
+	n := len(pos)
+	side := make([]Side, n)
+	for i, p := range pos {
+		if p.X >= 0.5 {
+			side[i] = Side2
+		}
+	}
+	b := NewBuilder(n).SetName(fmt.Sprintf("walled-rgg(n=%d,doors=%d)", n, doors)).SetPositions(pos)
+	r2 := radius * radius
+	type crossing struct {
+		u, v NodeID
+		gap  float64 // combined distance from the wall; smaller = more door-like
+	}
+	var crossings []crossing
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			dx := pos[u].X - pos[v].X
+			dy := pos[u].Y - pos[v].Y
+			if dx*dx+dy*dy >= r2 {
+				continue
+			}
+			if side[u] == side[v] {
+				b.AddEdge(NodeID(u), NodeID(v))
+			} else {
+				gap := math.Abs(pos[u].X-0.5) + math.Abs(pos[v].X-0.5)
+				crossings = append(crossings, crossing{NodeID(u), NodeID(v), gap})
+			}
+		}
+	}
+	if len(crossings) < doors {
+		return nil, nil, fmt.Errorf("graph: only %d crossings available for %d doors", len(crossings), doors)
+	}
+	// Select the `doors` crossings nearest the wall (deterministic given positions).
+	for k := 0; k < doors; k++ {
+		best := k
+		for j := k + 1; j < len(crossings); j++ {
+			if crossings[j].gap < crossings[best].gap {
+				best = j
+			}
+		}
+		crossings[k], crossings[best] = crossings[best], crossings[k]
+		b.AddEdge(crossings[k].u, crossings[k].v)
+	}
+	g, err := b.Build()
+	if err != nil {
+		return nil, nil, err
+	}
+	part, err := NewPartition(g, side)
+	if err != nil {
+		return nil, nil, err
+	}
+	if !sidesInternallyConnected(g, part) {
+		return nil, nil, fmt.Errorf("graph: walled RGG sides not internally connected")
+	}
+	return g, part, nil
+}

@@ -1,0 +1,118 @@
+package graph
+
+// This file provides the traversal utilities (BFS, connectivity, distance,
+// component extraction) that generators and cut detection rely on.
+
+// BFSDistances returns the hop distance from src to every node, with -1 for
+// unreachable nodes. It panics if src is out of range.
+func BFSDistances(g *Graph, src NodeID) []int {
+	dist := make([]int, g.NumNodes())
+	for i := range dist {
+		dist[i] = -1
+	}
+	dist[src] = 0
+	queue := []NodeID{src}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for _, he := range g.Neighbors(u) {
+			if dist[he.Peer] == -1 {
+				dist[he.Peer] = dist[u] + 1
+				queue = append(queue, he.Peer)
+			}
+		}
+	}
+	return dist
+}
+
+// IsConnected reports whether g has a single connected component. The empty
+// graph is considered disconnected; the one-node graph connected.
+func IsConnected(g *Graph) bool {
+	n := g.NumNodes()
+	if n == 0 {
+		return false
+	}
+	dist := BFSDistances(g, 0)
+	for _, d := range dist {
+		if d == -1 {
+			return false
+		}
+	}
+	return true
+}
+
+// ConnectedComponents labels every node with a component index (0-based,
+// in order of discovery from node 0 upward) and returns the labels along
+// with the number of components.
+func ConnectedComponents(g *Graph) (labels []int, count int) {
+	n := g.NumNodes()
+	labels = make([]int, n)
+	for i := range labels {
+		labels[i] = -1
+	}
+	for start := 0; start < n; start++ {
+		if labels[start] != -1 {
+			continue
+		}
+		labels[start] = count
+		queue := []NodeID{NodeID(start)}
+		for len(queue) > 0 {
+			u := queue[0]
+			queue = queue[1:]
+			for _, he := range g.Neighbors(u) {
+				if labels[he.Peer] == -1 {
+					labels[he.Peer] = count
+					queue = append(queue, he.Peer)
+				}
+			}
+		}
+		count++
+	}
+	return labels, count
+}
+
+// Eccentricity returns the maximum BFS distance from src to any reachable
+// node, and whether the whole graph was reachable.
+func Eccentricity(g *Graph, src NodeID) (ecc int, connected bool) {
+	connected = true
+	for _, d := range BFSDistances(g, src) {
+		if d == -1 {
+			connected = false
+			continue
+		}
+		if d > ecc {
+			ecc = d
+		}
+	}
+	return ecc, connected
+}
+
+// Diameter returns the exact diameter via all-pairs BFS. It is O(V·E) and
+// intended for the small graphs used in tests and experiments. It returns
+// -1 for disconnected or empty graphs.
+func Diameter(g *Graph) int {
+	if g.NumNodes() == 0 {
+		return -1
+	}
+	diam := 0
+	for u := 0; u < g.NumNodes(); u++ {
+		ecc, ok := Eccentricity(g, NodeID(u))
+		if !ok {
+			return -1
+		}
+		if ecc > diam {
+			diam = ecc
+		}
+	}
+	return diam
+}
+
+// DegreeSum returns the sum of all degrees (2|E| on any valid graph —
+// asserted by property tests, not here).
+func DegreeSum(g *Graph) int {
+	s := 0
+	for u := 0; u < g.NumNodes(); u++ {
+		s += g.Degree(NodeID(u))
+	}
+	return s
+}

@@ -1,0 +1,168 @@
+package graph
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestBFSDistancesPath(t *testing.T) {
+	g := Path(5)
+	d := BFSDistances(g, 0)
+	for i, want := range []int{0, 1, 2, 3, 4} {
+		if d[i] != want {
+			t.Errorf("dist[%d] = %d, want %d", i, d[i], want)
+		}
+	}
+}
+
+func TestBFSDistancesUnreachable(t *testing.T) {
+	g := NewBuilder(4).AddEdge(0, 1).AddEdge(2, 3).MustBuild()
+	d := BFSDistances(g, 0)
+	if d[2] != -1 || d[3] != -1 {
+		t.Error("unreachable nodes should have distance -1")
+	}
+}
+
+func TestIsConnected(t *testing.T) {
+	if !IsConnected(Complete(5)) {
+		t.Error("K_5 reported disconnected")
+	}
+	if IsConnected(NewBuilder(3).AddEdge(0, 1).MustBuild()) {
+		t.Error("disconnected graph reported connected")
+	}
+	var empty Graph
+	if IsConnected(&empty) {
+		t.Error("empty graph reported connected")
+	}
+	single := NewBuilder(1).MustBuild()
+	if !IsConnected(single) {
+		t.Error("single node reported disconnected")
+	}
+}
+
+func TestConnectedComponents(t *testing.T) {
+	g := NewBuilder(6).AddEdge(0, 1).AddEdge(1, 2).AddEdge(3, 4).MustBuild()
+	labels, count := ConnectedComponents(g)
+	if count != 3 {
+		t.Fatalf("count = %d, want 3", count)
+	}
+	if labels[0] != labels[1] || labels[1] != labels[2] {
+		t.Error("first component mislabelled")
+	}
+	if labels[3] != labels[4] || labels[3] == labels[0] {
+		t.Error("second component mislabelled")
+	}
+	if labels[5] == labels[0] || labels[5] == labels[3] {
+		t.Error("isolated node shares a label with a non-trivial component")
+	}
+}
+
+func TestEccentricityAndDiameter(t *testing.T) {
+	g := Path(4)
+	ecc, ok := Eccentricity(g, 1)
+	if !ok || ecc != 2 {
+		t.Errorf("ecc(1) = %d,%v, want 2,true", ecc, ok)
+	}
+	if d := Diameter(g); d != 3 {
+		t.Errorf("diameter %d", d)
+	}
+	if d := Diameter(NewBuilder(2).MustBuild()); d != -1 {
+		t.Errorf("disconnected diameter = %d, want -1", d)
+	}
+	var empty Graph
+	if d := Diameter(&empty); d != -1 {
+		t.Errorf("empty diameter = %d, want -1", d)
+	}
+}
+
+func TestEdgeListRoundTrip(t *testing.T) {
+	g1, _, err := Dumbbell(4, 5, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteEdgeList(&buf, g1); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := ReadEdgeList(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.NumNodes() != g1.NumNodes() || g2.NumEdges() != g1.NumEdges() {
+		t.Fatalf("round trip changed size: %s -> %s", g1, g2)
+	}
+	if g2.Name() != g1.Name() {
+		t.Errorf("name %q -> %q", g1.Name(), g2.Name())
+	}
+	for i := 0; i < g1.NumEdges(); i++ {
+		if g1.Edge(EdgeID(i)) != g2.Edge(EdgeID(i)) {
+			t.Fatalf("edge %d differs", i)
+		}
+	}
+}
+
+func TestReadEdgeListErrors(t *testing.T) {
+	cases := map[string]string{
+		"no header":        "0 1\n",
+		"empty":            "",
+		"bad count":        "nodes x\n",
+		"bad edge":         "nodes 2\n0 a\n",
+		"short edge":       "nodes 2\n0\n",
+		"duplicate header": "nodes 2\nnodes 2\n",
+		"out of range":     "nodes 2\n0 5\n",
+		"self loop":        "nodes 2\n1 1\n",
+	}
+	for name, in := range cases {
+		t.Run(name, func(t *testing.T) {
+			if _, err := ReadEdgeList(strings.NewReader(in)); err == nil {
+				t.Errorf("input %q parsed without error", in)
+			}
+		})
+	}
+}
+
+func TestReadEdgeListSkipsBlanksAndComments(t *testing.T) {
+	in := "# a comment\n\nnodes 3\n# another\n0 1\n\n1 2\n"
+	g, err := ReadEdgeList(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes() != 3 || g.NumEdges() != 2 {
+		t.Errorf("parsed %s", g)
+	}
+}
+
+func TestWriteDOT(t *testing.T) {
+	g, p, err := Dumbbell(3, 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteDOT(&buf, g, p); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "graph") || !strings.Contains(out, "--") {
+		t.Errorf("missing DOT structure:\n%s", out)
+	}
+	if !strings.Contains(out, "color=red") {
+		t.Error("cut edge not highlighted")
+	}
+	if !strings.Contains(out, "lightblue") || !strings.Contains(out, "lightsalmon") {
+		t.Error("sides not coloured")
+	}
+}
+
+func TestWriteDOTNoPartition(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteDOT(&buf, Grid(2, 2), nil); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), "color=red") {
+		t.Error("unexpected cut highlighting without partition")
+	}
+	if !strings.Contains(buf.String(), "pos=") {
+		t.Error("grid positions not exported")
+	}
+}

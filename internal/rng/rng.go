@@ -1,0 +1,197 @@
+// Package rng provides a small, deterministic, splittable pseudo-random
+// number generator used throughout the simulator.
+//
+// The generator is xoshiro256++ seeded through splitmix64. It is not
+// cryptographically secure; it is chosen for reproducibility (a simulation
+// seeded with the same value produces the same event sequence on every
+// platform), speed, and the ability to derive statistically independent
+// child streams for parallel Monte-Carlo trials.
+package rng
+
+import "math"
+
+// RNG is a deterministic pseudo-random number generator.
+//
+// The zero value is not usable; construct with New. RNG is not safe for
+// concurrent use: derive one stream per goroutine with Split.
+type RNG struct {
+	s [4]uint64
+
+	// Cached second output of the polar method for NormFloat64.
+	spare      float64
+	spareValid bool
+}
+
+// splitmix64 advances a 64-bit state and returns the next output. It is the
+// standard seed expander for the xoshiro family.
+func splitmix64(state *uint64) uint64 {
+	*state += 0x9e3779b97f4a7c15
+	z := *state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// New returns a generator deterministically seeded from seed. Distinct seeds
+// yield (for all practical purposes) independent streams.
+func New(seed uint64) *RNG {
+	r := &RNG{}
+	sm := seed
+	for i := range r.s {
+		r.s[i] = splitmix64(&sm)
+	}
+	// A state of all zeros is the one forbidden state of xoshiro256++;
+	// splitmix64 cannot produce four consecutive zeros, but guard anyway.
+	if r.s[0]|r.s[1]|r.s[2]|r.s[3] == 0 {
+		r.s[0] = 0x9e3779b97f4a7c15
+	}
+	return r
+}
+
+// Split derives a new generator whose stream is independent of the parent's
+// future output. The parent is advanced, so successive Split calls return
+// distinct streams.
+func (r *RNG) Split() *RNG {
+	return New(r.Uint64() ^ 0xd2b74407b1ce6e93)
+}
+
+func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
+
+// Uint64 returns the next 64 uniformly distributed bits.
+func (r *RNG) Uint64() uint64 {
+	result := rotl(r.s[0]+r.s[3], 23) + r.s[0]
+	t := r.s[1] << 17
+	r.s[2] ^= r.s[0]
+	r.s[3] ^= r.s[1]
+	r.s[1] ^= r.s[2]
+	r.s[0] ^= r.s[3]
+	r.s[2] ^= t
+	r.s[3] = rotl(r.s[3], 45)
+	return result
+}
+
+// Float64 returns a uniform float64 in [0, 1) with 53 bits of precision.
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) * (1.0 / (1 << 53))
+}
+
+// Intn returns a uniform integer in [0, n). It panics if n <= 0.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("rng: Intn called with n <= 0")
+	}
+	// Lemire's multiply-shift rejection method: unbiased and branch-light.
+	bound := uint64(n)
+	for {
+		v := r.Uint64()
+		hi, lo := mul64(v, bound)
+		if lo >= bound || lo >= (-bound)%bound {
+			return int(hi)
+		}
+	}
+}
+
+// mul64 returns the 128-bit product of a and b as (hi, lo). Implemented
+// manually so the package has no dependency on math/bits semantics changing
+// (math/bits.Mul64 would also be fine; this keeps the arithmetic explicit).
+func mul64(a, b uint64) (hi, lo uint64) {
+	const mask32 = 1<<32 - 1
+	a0, a1 := a&mask32, a>>32
+	b0, b1 := b&mask32, b>>32
+	w0 := a0 * b0
+	t := a1*b0 + w0>>32
+	w1 := t & mask32
+	w2 := t >> 32
+	w1 += a0 * b1
+	hi = a1*b1 + w2 + w1>>32
+	lo = a * b
+	return hi, lo
+}
+
+// Int63 returns a uniform non-negative int64.
+func (r *RNG) Int63() int64 {
+	return int64(r.Uint64() >> 1)
+}
+
+// ExpFloat64 returns an exponentially distributed sample with the given
+// rate (mean 1/rate), via inversion. It panics if rate <= 0.
+func (r *RNG) ExpFloat64(rate float64) float64 {
+	if rate <= 0 {
+		panic("rng: ExpFloat64 called with rate <= 0")
+	}
+	// 1 - Float64() is in (0, 1], so Log never sees zero.
+	return -math.Log(1-r.Float64()) / rate
+}
+
+// NormFloat64 returns a standard normal sample using the Marsaglia polar
+// method. Two samples are generated per acceptance; the second is cached.
+func (r *RNG) NormFloat64() float64 {
+	if r.spareValid {
+		r.spareValid = false
+		return r.spare
+	}
+	for {
+		u := 2*r.Float64() - 1
+		v := 2*r.Float64() - 1
+		s := u*u + v*v
+		if s >= 1 || s == 0 {
+			continue
+		}
+		f := math.Sqrt(-2 * math.Log(s) / s)
+		r.spare, r.spareValid = v*f, true
+		return u * f
+	}
+}
+
+// Poisson returns a Poisson-distributed sample with the given mean.
+// It uses Knuth's product method for small means and a normal approximation
+// with continuity correction for large means (mean > 64), which is accurate
+// to well under the Monte-Carlo noise of any experiment in this repository.
+// It panics if mean < 0.
+func (r *RNG) Poisson(mean float64) int {
+	switch {
+	case mean < 0:
+		panic("rng: Poisson called with negative mean")
+	case mean == 0:
+		return 0
+	case mean <= 64:
+		l := math.Exp(-mean)
+		k := 0
+		p := 1.0
+		for {
+			p *= r.Float64()
+			if p <= l {
+				return k
+			}
+			k++
+		}
+	default:
+		v := mean + math.Sqrt(mean)*r.NormFloat64() + 0.5
+		if v < 0 {
+			return 0
+		}
+		return int(v)
+	}
+}
+
+// Perm returns a uniformly random permutation of [0, n).
+func (r *RNG) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		j := r.Intn(i + 1)
+		p[i] = p[j]
+		p[j] = i
+	}
+	return p
+}
+
+// Shuffle performs a Fisher-Yates shuffle over n elements using swap.
+// It panics if n < 0.
+func (r *RNG) Shuffle(n int, swap func(i, j int)) {
+	if n < 0 {
+		panic("rng: Shuffle called with n < 0")
+	}
+	for i := n - 1; i > 0; i-- {
+		swap(i, r.Intn(i+1))
+	}
+}

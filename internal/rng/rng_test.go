@@ -1,0 +1,320 @@
+package rng
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewDeterministic(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 1000; i++ {
+		if got, want := a.Uint64(), b.Uint64(); got != want {
+			t.Fatalf("stream diverged at step %d: %d != %d", i, got, want)
+		}
+	}
+}
+
+func TestNewDistinctSeeds(t *testing.T) {
+	a, b := New(1), New(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("streams for distinct seeds collided %d/100 times", same)
+	}
+}
+
+func TestNewZeroSeedUsable(t *testing.T) {
+	r := New(0)
+	seen := map[uint64]bool{}
+	for i := 0; i < 100; i++ {
+		seen[r.Uint64()] = true
+	}
+	if len(seen) < 100 {
+		t.Fatalf("seed 0 produced only %d distinct values in 100 draws", len(seen))
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	parent := New(7)
+	child := parent.Split()
+	// The child stream must differ from the parent's continuation.
+	diff := false
+	for i := 0; i < 64; i++ {
+		if parent.Uint64() != child.Uint64() {
+			diff = true
+			break
+		}
+	}
+	if !diff {
+		t.Fatal("split child reproduced parent stream")
+	}
+}
+
+func TestSplitDeterministic(t *testing.T) {
+	a, b := New(7).Split(), New(7).Split()
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("Split is not deterministic")
+		}
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := New(3)
+	for i := 0; i < 100000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of [0,1): %v", f)
+		}
+	}
+}
+
+func TestFloat64Mean(t *testing.T) {
+	r := New(11)
+	const n = 200000
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += r.Float64()
+	}
+	mean := sum / n
+	if math.Abs(mean-0.5) > 0.005 {
+		t.Fatalf("Float64 mean = %v, want ~0.5", mean)
+	}
+}
+
+func TestIntnRange(t *testing.T) {
+	r := New(5)
+	if err := quick.Check(func(nRaw uint16) bool {
+		n := int(nRaw%1000) + 1
+		v := r.Intn(n)
+		return v >= 0 && v < n
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIntnUniform(t *testing.T) {
+	r := New(9)
+	const buckets, draws = 10, 100000
+	counts := make([]int, buckets)
+	for i := 0; i < draws; i++ {
+		counts[r.Intn(buckets)]++
+	}
+	want := float64(draws) / buckets
+	for b, c := range counts {
+		if math.Abs(float64(c)-want) > 5*math.Sqrt(want) {
+			t.Errorf("bucket %d: count %d deviates from %v by more than 5 sigma", b, c, want)
+		}
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestInt63NonNegative(t *testing.T) {
+	r := New(17)
+	for i := 0; i < 10000; i++ {
+		if r.Int63() < 0 {
+			t.Fatal("Int63 returned a negative value")
+		}
+	}
+}
+
+func TestExpFloat64Mean(t *testing.T) {
+	for _, rate := range []float64{0.5, 1, 4} {
+		r := New(13)
+		const n = 200000
+		sum := 0.0
+		for i := 0; i < n; i++ {
+			sum += r.ExpFloat64(rate)
+		}
+		mean := sum / n
+		want := 1 / rate
+		if math.Abs(mean-want)/want > 0.02 {
+			t.Errorf("rate %v: sample mean %v, want ~%v", rate, mean, want)
+		}
+	}
+}
+
+func TestExpFloat64Positive(t *testing.T) {
+	r := New(19)
+	for i := 0; i < 100000; i++ {
+		if v := r.ExpFloat64(1); v < 0 || math.IsInf(v, 0) || math.IsNaN(v) {
+			t.Fatalf("ExpFloat64 produced invalid sample %v", v)
+		}
+	}
+}
+
+func TestExpFloat64PanicsOnBadRate(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("ExpFloat64(0) did not panic")
+		}
+	}()
+	New(1).ExpFloat64(0)
+}
+
+func TestNormFloat64Moments(t *testing.T) {
+	r := New(23)
+	const n = 400000
+	sum, sumSq := 0.0, 0.0
+	for i := 0; i < n; i++ {
+		v := r.NormFloat64()
+		sum += v
+		sumSq += v * v
+	}
+	mean := sum / n
+	variance := sumSq/n - mean*mean
+	if math.Abs(mean) > 0.01 {
+		t.Errorf("normal mean = %v, want ~0", mean)
+	}
+	if math.Abs(variance-1) > 0.02 {
+		t.Errorf("normal variance = %v, want ~1", variance)
+	}
+}
+
+func TestPoissonMeanSmall(t *testing.T) {
+	r := New(29)
+	const n = 100000
+	mean := 3.5
+	sum := 0
+	for i := 0; i < n; i++ {
+		sum += r.Poisson(mean)
+	}
+	got := float64(sum) / n
+	if math.Abs(got-mean)/mean > 0.03 {
+		t.Errorf("Poisson(%v) sample mean %v", mean, got)
+	}
+}
+
+func TestPoissonMeanLarge(t *testing.T) {
+	r := New(31)
+	const n = 50000
+	mean := 500.0
+	sum := 0
+	for i := 0; i < n; i++ {
+		sum += r.Poisson(mean)
+	}
+	got := float64(sum) / n
+	if math.Abs(got-mean)/mean > 0.01 {
+		t.Errorf("Poisson(%v) sample mean %v", mean, got)
+	}
+}
+
+func TestPoissonZeroMean(t *testing.T) {
+	if got := New(1).Poisson(0); got != 0 {
+		t.Fatalf("Poisson(0) = %d, want 0", got)
+	}
+}
+
+func TestPoissonNonNegative(t *testing.T) {
+	r := New(37)
+	for _, mean := range []float64{0.01, 1, 64, 65, 1000} {
+		for i := 0; i < 1000; i++ {
+			if v := r.Poisson(mean); v < 0 {
+				t.Fatalf("Poisson(%v) returned %d", mean, v)
+			}
+		}
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	r := New(41)
+	if err := quick.Check(func(nRaw uint8) bool {
+		n := int(nRaw % 64)
+		p := r.Perm(n)
+		if len(p) != n {
+			return false
+		}
+		seen := make([]bool, n)
+		for _, v := range p {
+			if v < 0 || v >= n || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPermUniformFirstElement(t *testing.T) {
+	r := New(43)
+	const n, draws = 5, 50000
+	counts := make([]int, n)
+	for i := 0; i < draws; i++ {
+		counts[r.Perm(n)[0]]++
+	}
+	want := float64(draws) / n
+	for i, c := range counts {
+		if math.Abs(float64(c)-want) > 5*math.Sqrt(want) {
+			t.Errorf("Perm first-element %d count %d deviates from %v", i, c, want)
+		}
+	}
+}
+
+func TestShufflePreservesMultiset(t *testing.T) {
+	r := New(47)
+	xs := []int{1, 2, 3, 4, 5, 6, 7, 8}
+	sum := 0
+	for _, v := range xs {
+		sum += v
+	}
+	r.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] })
+	got := 0
+	for _, v := range xs {
+		got += v
+	}
+	if got != sum {
+		t.Fatalf("shuffle changed element sum: %d != %d", got, sum)
+	}
+}
+
+func TestMul64(t *testing.T) {
+	cases := []struct {
+		a, b   uint64
+		hi, lo uint64
+	}{
+		{0, 0, 0, 0},
+		{1, 1, 0, 1},
+		{math.MaxUint64, 2, 1, math.MaxUint64 - 1},
+		{1 << 32, 1 << 32, 1, 0},
+		{math.MaxUint64, math.MaxUint64, math.MaxUint64 - 1, 1},
+	}
+	for _, c := range cases {
+		hi, lo := mul64(c.a, c.b)
+		if hi != c.hi || lo != c.lo {
+			t.Errorf("mul64(%d,%d) = (%d,%d), want (%d,%d)", c.a, c.b, hi, lo, c.hi, c.lo)
+		}
+	}
+}
+
+func BenchmarkUint64(b *testing.B) {
+	r := New(1)
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink += r.Uint64()
+	}
+	_ = sink
+}
+
+func BenchmarkExpFloat64(b *testing.B) {
+	r := New(1)
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		sink += r.ExpFloat64(1)
+	}
+	_ = sink
+}

@@ -1,0 +1,117 @@
+package sim
+
+import (
+	"sort"
+
+	"sparsecut/internal/graph"
+	"sparsecut/internal/rng"
+)
+
+// globalScheduler superposes all edge clocks into one Poisson stream at the
+// total rate; each event picks an edge with probability proportional to its
+// rate. Uniform rates use a constant-time fast path.
+type globalScheduler struct {
+	r         *rng.RNG
+	totalRate float64
+	now       float64
+	uniform   bool
+	numEdges  int
+	cumRates  []float64 // prefix sums when not uniform
+}
+
+func newGlobalScheduler(rates []float64, r *rng.RNG) *globalScheduler {
+	s := &globalScheduler{r: r, numEdges: len(rates), uniform: true}
+	for _, rate := range rates {
+		if rate != rates[0] {
+			s.uniform = false
+			break
+		}
+	}
+	if s.uniform {
+		s.totalRate = rates[0] * float64(len(rates))
+		return s
+	}
+	s.cumRates = make([]float64, len(rates))
+	acc := 0.0
+	for i, rate := range rates {
+		acc += rate
+		s.cumRates[i] = acc
+	}
+	s.totalRate = acc
+	return s
+}
+
+func (s *globalScheduler) next() (graph.EdgeID, float64) {
+	s.now += s.r.ExpFloat64(s.totalRate)
+	if s.uniform {
+		return graph.EdgeID(s.r.Intn(s.numEdges)), s.now
+	}
+	target := s.r.Float64() * s.totalRate
+	idx := sort.SearchFloat64s(s.cumRates, target)
+	if idx >= len(s.cumRates) {
+		idx = len(s.cumRates) - 1
+	}
+	return graph.EdgeID(idx), s.now
+}
+
+// heapScheduler keeps one exponential timer per edge in a binary min-heap —
+// the paper's model verbatim. After an edge fires, its next tick is
+// resampled, exploiting the memorylessness of the exponential distribution.
+type heapScheduler struct {
+	r     *rng.RNG
+	rates []float64
+	heap  []heapEntry
+}
+
+type heapEntry struct {
+	at   float64
+	edge graph.EdgeID
+}
+
+func newHeapScheduler(rates []float64, r *rng.RNG) *heapScheduler {
+	s := &heapScheduler{r: r, rates: rates, heap: make([]heapEntry, 0, len(rates))}
+	for e, rate := range rates {
+		s.push(heapEntry{at: r.ExpFloat64(rate), edge: graph.EdgeID(e)})
+	}
+	return s
+}
+
+func (s *heapScheduler) next() (graph.EdgeID, float64) {
+	top := s.heap[0]
+	// Resample this edge's next tick and sift it down from the root.
+	s.heap[0] = heapEntry{at: top.at + s.r.ExpFloat64(s.rates[top.edge]), edge: top.edge}
+	s.siftDown(0)
+	return top.edge, top.at
+}
+
+func (s *heapScheduler) push(e heapEntry) {
+	s.heap = append(s.heap, e)
+	i := len(s.heap) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if s.heap[parent].at <= s.heap[i].at {
+			break
+		}
+		s.heap[parent], s.heap[i] = s.heap[i], s.heap[parent]
+		i = parent
+	}
+}
+
+func (s *heapScheduler) siftDown(i int) {
+	n := len(s.heap)
+	for {
+		left, right := 2*i+1, 2*i+2
+		smallest := i
+		if left < n && s.heap[left].at < s.heap[smallest].at {
+			smallest = left
+		}
+		if right < n && s.heap[right].at < s.heap[smallest].at {
+			smallest = right
+		}
+		if smallest == i {
+			return
+		}
+		s.heap[i], s.heap[smallest] = s.heap[smallest], s.heap[i]
+		i = smallest
+	}
+}

@@ -1,0 +1,286 @@
+package sim
+
+import (
+	"math"
+	"sort"
+	"testing"
+
+	"sparsecut/internal/graph"
+	"sparsecut/internal/rng"
+	"sparsecut/internal/stats"
+)
+
+type countingHandler struct {
+	perEdge []int64
+	times   []float64
+}
+
+func (h *countingHandler) HandleTick(e graph.EdgeID, t float64) {
+	h.perEdge[e]++
+	h.times = append(h.times, t)
+}
+
+func newCounter(g *graph.Graph) *countingHandler {
+	return &countingHandler{perEdge: make([]int64, g.NumEdges())}
+}
+
+func TestNewEngineValidation(t *testing.T) {
+	g := graph.Path(3)
+	if _, err := NewEngine(g, nil); err == nil {
+		t.Error("nil handler not rejected")
+	}
+	edgeless := graph.NewBuilder(2).MustBuild()
+	if _, err := NewEngine(edgeless, HandlerFunc(func(graph.EdgeID, float64) {})); err == nil {
+		t.Error("edgeless graph not rejected")
+	}
+	if _, err := NewEngine(g, newCounter(g), WithRates([]float64{1})); err == nil {
+		t.Error("rate length mismatch not rejected")
+	}
+	if _, err := NewEngine(g, newCounter(g), WithRates([]float64{1, -1})); err == nil {
+		t.Error("negative rate not rejected")
+	}
+	if _, err := NewEngine(g, newCounter(g), WithScheduler(SchedulerKind(99))); err == nil {
+		t.Error("unknown scheduler not rejected")
+	}
+}
+
+func TestRunStopsAtMaxEvents(t *testing.T) {
+	g := graph.Complete(4)
+	h := newCounter(g)
+	eng, err := NewEngine(g, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, events := eng.Run(MaxEvents(100))
+	if events != 100 {
+		t.Errorf("events = %d, want 100", events)
+	}
+	total := int64(0)
+	for _, c := range h.perEdge {
+		total += c
+	}
+	if total != 100 {
+		t.Errorf("handler saw %d ticks", total)
+	}
+}
+
+func TestRunStopsAtTime(t *testing.T) {
+	g := graph.Complete(4)
+	eng, err := NewEngine(g, newCounter(g))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tEnd, _ := eng.Run(Until(5))
+	if tEnd < 5 {
+		t.Errorf("stopped at t=%v, want >= 5", tEnd)
+	}
+	if tEnd > 10 {
+		t.Errorf("overshot wildly: t=%v", tEnd)
+	}
+}
+
+func TestRunResumes(t *testing.T) {
+	g := graph.Complete(4)
+	eng, err := NewEngine(g, newCounter(g))
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.Run(MaxEvents(10))
+	t1 := eng.Now()
+	eng.Run(MaxEvents(20))
+	if eng.Events() != 20 {
+		t.Errorf("cumulative events = %d, want 20", eng.Events())
+	}
+	if eng.Now() <= t1 {
+		t.Error("time did not advance on resume")
+	}
+}
+
+func TestTimesAreIncreasing(t *testing.T) {
+	for _, kind := range []SchedulerKind{GlobalClock, PerEdgeClocks} {
+		g := graph.Complete(5)
+		h := newCounter(g)
+		eng, err := NewEngine(g, h, WithScheduler(kind))
+		if err != nil {
+			t.Fatal(err)
+		}
+		eng.Run(MaxEvents(5000))
+		if !sort.Float64sAreSorted(h.times) {
+			t.Errorf("%v: tick times not sorted", kind)
+		}
+		for _, tm := range h.times {
+			if tm <= 0 {
+				t.Fatalf("%v: non-positive tick time %v", kind, tm)
+			}
+		}
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	for _, kind := range []SchedulerKind{GlobalClock, PerEdgeClocks} {
+		g := graph.Complete(5)
+		run := func() []float64 {
+			h := newCounter(g)
+			eng, err := NewEngine(g, h, WithScheduler(kind), WithSeed(77))
+			if err != nil {
+				t.Fatal(err)
+			}
+			eng.Run(MaxEvents(1000))
+			return h.times
+		}
+		a, b := run(), run()
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("%v: runs diverged at event %d", kind, i)
+			}
+		}
+	}
+}
+
+// Both schedulers must realise the same process: per-edge tick counts over
+// a fixed horizon are Poisson(rate*T) for each edge.
+func TestSchedulerStatisticalEquivalence(t *testing.T) {
+	g := graph.Complete(6) // 15 edges
+	const horizon = 2000.0
+	for _, kind := range []SchedulerKind{GlobalClock, PerEdgeClocks} {
+		h := newCounter(g)
+		eng, err := NewEngine(g, h, WithScheduler(kind), WithSeed(5))
+		if err != nil {
+			t.Fatal(err)
+		}
+		eng.Run(Until(horizon))
+		for e, c := range h.perEdge {
+			// Poisson(2000): sd ~ 44.7; allow 5 sigma.
+			if math.Abs(float64(c)-horizon) > 5*math.Sqrt(horizon) {
+				t.Errorf("%v: edge %d ticked %d times, want ~%v", kind, e, c, horizon)
+			}
+		}
+	}
+}
+
+// Inter-event gaps of the superposed process must be Exp(|E|).
+func TestGlobalGapDistribution(t *testing.T) {
+	g := graph.Complete(4) // 6 edges
+	h := newCounter(g)
+	eng, err := NewEngine(g, h, WithSeed(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.Run(MaxEvents(200000))
+	gaps := make([]float64, len(h.times)-1)
+	prev := 0.0
+	for i, tm := range h.times {
+		if i > 0 {
+			gaps[i-1] = tm - prev
+		}
+		prev = tm
+	}
+	mean := stats.Mean(gaps)
+	want := 1.0 / 6.0
+	if math.Abs(mean-want)/want > 0.02 {
+		t.Errorf("mean gap %v, want ~%v", mean, want)
+	}
+	// Memorylessness check: variance of Exp is mean^2.
+	if v := stats.Variance(gaps); math.Abs(v-want*want)/(want*want) > 0.05 {
+		t.Errorf("gap variance %v, want ~%v", v, want*want)
+	}
+}
+
+func TestWeightedRates(t *testing.T) {
+	// A path with two edges: rates 1 and 4 -> tick counts ~1:4.
+	g := graph.Path(3)
+	for _, kind := range []SchedulerKind{GlobalClock, PerEdgeClocks} {
+		h := newCounter(g)
+		eng, err := NewEngine(g, h, WithScheduler(kind), WithRates([]float64{1, 4}), WithSeed(9))
+		if err != nil {
+			t.Fatal(err)
+		}
+		eng.Run(MaxEvents(100000))
+		ratio := float64(h.perEdge[1]) / float64(h.perEdge[0])
+		if math.Abs(ratio-4) > 0.2 {
+			t.Errorf("%v: rate ratio %v, want ~4", kind, ratio)
+		}
+	}
+}
+
+func TestObserverInvoked(t *testing.T) {
+	g := graph.Complete(3)
+	calls := int64(0)
+	var lastT float64
+	eng, err := NewEngine(g, newCounter(g), WithObserver(func(tm float64, ev int64) {
+		calls++
+		lastT = tm
+		if ev != calls {
+			t.Fatalf("observer event count %d, want %d", ev, calls)
+		}
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.Run(MaxEvents(50))
+	if calls != 50 {
+		t.Errorf("observer called %d times", calls)
+	}
+	if lastT != eng.Now() {
+		t.Error("observer saw stale time")
+	}
+}
+
+func TestWithRNGSharedStream(t *testing.T) {
+	g := graph.Complete(3)
+	r := rng.New(123)
+	eng1, err := NewEngine(g, newCounter(g), WithRNG(r.Split()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng2, err := NewEngine(g, newCounter(g), WithRNG(r.Split()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng1.Run(MaxEvents(100))
+	eng2.Run(MaxEvents(100))
+	if eng1.Now() == eng2.Now() {
+		t.Error("split streams produced identical trajectories")
+	}
+}
+
+func TestAnyOf(t *testing.T) {
+	cond := AnyOf(Until(10), MaxEvents(5))
+	if !cond(11, 0) || !cond(0, 5) {
+		t.Error("AnyOf missed a satisfied condition")
+	}
+	if cond(5, 3) {
+		t.Error("AnyOf fired early")
+	}
+}
+
+func TestRunPanicsWithoutStop(t *testing.T) {
+	g := graph.Complete(3)
+	eng, err := NewEngine(g, newCounter(g))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Run(nil) did not panic")
+		}
+	}()
+	eng.Run(nil)
+}
+
+func TestSchedulerKindString(t *testing.T) {
+	if GlobalClock.String() == "" || PerEdgeClocks.String() == "" || SchedulerKind(9).String() == "" {
+		t.Error("empty scheduler names")
+	}
+}
+
+func TestGraphAccessor(t *testing.T) {
+	g := graph.Complete(3)
+	eng, err := NewEngine(g, newCounter(g))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eng.Graph() != g {
+		t.Error("Graph() returned wrong graph")
+	}
+}

@@ -1,0 +1,160 @@
+package spectral
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"sparsecut/internal/graph"
+	"sparsecut/internal/rng"
+)
+
+// Options configures power iteration. The zero value selects the defaults
+// documented on each field.
+type Options struct {
+	// MaxIter bounds the number of iterations (default 50000).
+	MaxIter int
+	// Tol is the relative Rayleigh-quotient convergence tolerance
+	// (default 1e-10).
+	Tol float64
+	// Seed seeds the random starting vector (default 1).
+	Seed uint64
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxIter == 0 {
+		o.MaxIter = 50000
+	}
+	if o.Tol == 0 {
+		o.Tol = 1e-10
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	return o
+}
+
+// ErrNoConvergence is returned when power iteration exhausts MaxIter
+// without meeting the tolerance. The partial estimate is still returned.
+var ErrNoConvergence = errors.New("spectral: power iteration did not converge")
+
+// PowerIteration estimates the largest eigenvalue (by magnitude, assumed
+// non-negative as for our PSD operators) of op and its eigenvector.
+// When deflate is non-nil, the iterate is re-orthogonalised against the
+// (unit-norm) deflate vectors each step, restricting the iteration to their
+// orthogonal complement.
+//
+// The eigenvalue estimate is the final Rayleigh quotient. On
+// ErrNoConvergence the best estimate so far is returned alongside the error.
+func PowerIteration(op Operator, deflate [][]float64, opts Options) (float64, []float64, error) {
+	o := opts.withDefaults()
+	n := op.Dim()
+	if n == 0 {
+		return 0, nil, errors.New("spectral: zero-dimensional operator")
+	}
+	for _, d := range deflate {
+		if len(d) != n {
+			return 0, nil, fmt.Errorf("spectral: deflation vector has dim %d, want %d", len(d), n)
+		}
+	}
+	r := rng.New(o.Seed)
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = r.NormFloat64()
+	}
+	orthogonalize(x, deflate)
+	if Normalize(x) == 0 {
+		return 0, nil, errors.New("spectral: start vector vanished under deflation")
+	}
+	y := make([]float64, n)
+	lambda := 0.0
+	for iter := 0; iter < o.MaxIter; iter++ {
+		op.Apply(y, x)
+		orthogonalize(y, deflate)
+		newLambda := Dot(x, y) // Rayleigh quotient since x is unit norm
+		norm := Normalize(y)
+		if norm == 0 {
+			// Operator annihilated the iterate: eigenvalue 0 on this subspace.
+			return 0, x, nil
+		}
+		x, y = y, x
+		denom := math.Max(math.Abs(newLambda), 1)
+		if iter > 0 && math.Abs(newLambda-lambda)/denom < o.Tol {
+			return newLambda, x, nil
+		}
+		lambda = newLambda
+	}
+	return lambda, x, ErrNoConvergence
+}
+
+// orthogonalize removes the components of x along each unit vector in basis.
+func orthogonalize(x []float64, basis [][]float64) {
+	for _, b := range basis {
+		Axpy(-Dot(x, b), b, x)
+	}
+}
+
+// LambdaMax estimates the largest Laplacian eigenvalue of g.
+func LambdaMax(g *graph.Graph, opts Options) (float64, error) {
+	lam, _, err := PowerIteration(Laplacian{G: g}, nil, opts)
+	return lam, err
+}
+
+// Lambda2 estimates the algebraic connectivity λ2(L), the smallest nonzero
+// Laplacian eigenvalue of a connected graph, together with the associated
+// Fiedler vector. It runs power iteration on 2*maxdeg*I − L deflated
+// against the all-ones vector. It returns an error if g has fewer than two
+// nodes or the iteration fails to converge.
+func Lambda2(g *graph.Graph, opts Options) (float64, []float64, error) {
+	n := g.NumNodes()
+	if n < 2 {
+		return 0, nil, fmt.Errorf("spectral: Lambda2 needs >= 2 nodes, got %d", n)
+	}
+	// λmax(L) <= 2*maxdeg, so the shift keeps the spectrum non-negative.
+	c := 2 * float64(g.MaxDegree())
+	if c == 0 {
+		// Edgeless graph: λ2 = 0 and any centered vector is a witness.
+		v := make([]float64, n)
+		v[0] = 1
+		CenterMean(v)
+		Normalize(v)
+		return 0, v, nil
+	}
+	ones := make([]float64, n)
+	for i := range ones {
+		ones[i] = 1 / math.Sqrt(float64(n))
+	}
+	lamShifted, vec, err := PowerIteration(Shifted{C: c, Op: Laplacian{G: g}}, [][]float64{ones}, opts)
+	if err != nil {
+		return c - lamShifted, vec, err
+	}
+	return c - lamShifted, vec, nil
+}
+
+// FiedlerVector returns the eigenvector associated with λ2(L); the sign
+// structure of this vector is the classic spectral-bisection heuristic.
+func FiedlerVector(g *graph.Graph, opts Options) ([]float64, error) {
+	_, v, err := Lambda2(g, opts)
+	return v, err
+}
+
+// TvanBound returns the analytic upper bound 6/λ2(L) on the vanilla
+// averaging time of g in the paper's timing model (rate-1 Poisson clock per
+// edge, tick ⇒ both endpoints take the arithmetic mean).
+//
+// Derivation: a tick of edge (i,j) changes the centered squared norm by
+// −(x_i−x_j)²/2, so dE‖x‖²/dt = −½·E[xᵀLx] ≤ −(λ2/2)·E‖x‖². Grönwall gives
+// E[varX(t)] ≤ e^{−λ2·t/2}·varX(0); Markov turns that into
+// P[varX(t) > e⁻²·varX(0)] ≤ e²·e^{−λ2·t/2}, which is below 1/e for
+// t ≥ 6/λ2. Because convex updates never increase the variance, "below the
+// threshold at t" implies "below forever after", matching Definition 1.
+func TvanBound(g *graph.Graph, opts Options) (float64, error) {
+	lam2, _, err := Lambda2(g, opts)
+	if err != nil {
+		return 0, err
+	}
+	if lam2 <= 0 {
+		return math.Inf(1), nil
+	}
+	return 6 / lam2, nil
+}

@@ -1,0 +1,85 @@
+// Package spectral provides the matrix-free linear algebra used to analyse
+// gossip processes: graph Laplacian operators, power iteration with
+// deflation, the algebraic connectivity λ2 and its Fiedler vector, and the
+// analytic vanilla-averaging-time bound derived from λ2.
+//
+// Everything is matrix-free (operators apply to vectors through the graph's
+// adjacency structure), so graphs with 10^5+ edges are handled without
+// forming dense matrices, using only the standard library.
+package spectral
+
+import "math"
+
+// Dot returns the inner product of x and y. The slices must have equal
+// length (enforced by the callers in this package).
+func Dot(x, y []float64) float64 {
+	s := 0.0
+	for i := range x {
+		s += x[i] * y[i]
+	}
+	return s
+}
+
+// Norm2 returns the Euclidean norm of x.
+func Norm2(x []float64) float64 { return math.Sqrt(Dot(x, x)) }
+
+// Axpy computes y += a*x in place.
+func Axpy(a float64, x, y []float64) {
+	for i := range x {
+		y[i] += a * x[i]
+	}
+}
+
+// Scale multiplies x by a in place.
+func Scale(a float64, x []float64) {
+	for i := range x {
+		x[i] *= a
+	}
+}
+
+// Normalize scales x to unit Euclidean norm and returns the original norm.
+// A zero vector is left unchanged and 0 is returned.
+func Normalize(x []float64) float64 {
+	n := Norm2(x)
+	if n == 0 {
+		return 0
+	}
+	Scale(1/n, x)
+	return n
+}
+
+// Mean returns the arithmetic mean of x (0 for empty).
+func Mean(x []float64) float64 {
+	if len(x) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, v := range x {
+		s += v
+	}
+	return s / float64(len(x))
+}
+
+// CenterMean subtracts the mean from every entry, projecting x onto the
+// subspace orthogonal to the all-ones vector. It returns the removed mean.
+func CenterMean(x []float64) float64 {
+	m := Mean(x)
+	for i := range x {
+		x[i] -= m
+	}
+	return m
+}
+
+// Variance returns the population variance of x — the paper's varX.
+func Variance(x []float64) float64 {
+	if len(x) == 0 {
+		return 0
+	}
+	m := Mean(x)
+	s := 0.0
+	for _, v := range x {
+		d := v - m
+		s += d * d
+	}
+	return s / float64(len(x))
+}

@@ -1,0 +1,287 @@
+// Package stats provides the small set of descriptive statistics and
+// least-squares fits the experiment harness needs: means, variances,
+// quantiles, confidence intervals, histograms, and (log-log) linear fits
+// used to extract empirical scaling exponents.
+package stats
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// ErrEmpty is returned by functions that require at least one sample.
+var ErrEmpty = errors.New("stats: empty sample")
+
+// Mean returns the arithmetic mean of xs, or NaN for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// Variance returns the unbiased (n-1 denominator) sample variance.
+// It returns 0 for slices with fewer than two elements.
+func Variance(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	sum := 0.0
+	for _, x := range xs {
+		d := x - m
+		sum += d * d
+	}
+	return sum / float64(len(xs)-1)
+}
+
+// PopulationVariance returns the variance with an n denominator, matching
+// the paper's varX definition. It returns 0 for an empty slice.
+func PopulationVariance(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	m := Mean(xs)
+	sum := 0.0
+	for _, x := range xs {
+		d := x - m
+		sum += d * d
+	}
+	return sum / float64(len(xs))
+}
+
+// StdDev returns the square root of the unbiased sample variance.
+func StdDev(xs []float64) float64 { return math.Sqrt(Variance(xs)) }
+
+// Quantile returns the q-th sample quantile (0 <= q <= 1) using linear
+// interpolation between order statistics. It returns an error for an empty
+// sample or a q outside [0, 1]. The input is not modified.
+func Quantile(xs []float64, q float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, ErrEmpty
+	}
+	if q < 0 || q > 1 {
+		return 0, fmt.Errorf("stats: quantile %v outside [0,1]", q)
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	if len(sorted) == 1 {
+		return sorted[0], nil
+	}
+	pos := q * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo], nil
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac, nil
+}
+
+// Median returns the 0.5 quantile, or NaN for an empty sample.
+func Median(xs []float64) float64 {
+	m, err := Quantile(xs, 0.5)
+	if err != nil {
+		return math.NaN()
+	}
+	return m
+}
+
+// Min returns the smallest element, or NaN for an empty slice.
+func Min(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Max returns the largest element, or NaN for an empty slice.
+func Max(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Summary holds the standard five-number-plus-moments description of a
+// sample, as printed in experiment tables.
+type Summary struct {
+	N      int
+	Mean   float64
+	StdDev float64
+	Min    float64
+	Median float64
+	Max    float64
+}
+
+// Summarize computes a Summary of xs. An empty sample yields NaN fields.
+func Summarize(xs []float64) Summary {
+	return Summary{
+		N:      len(xs),
+		Mean:   Mean(xs),
+		StdDev: StdDev(xs),
+		Min:    Min(xs),
+		Median: Median(xs),
+		Max:    Max(xs),
+	}
+}
+
+// String renders the summary compactly, e.g. for log lines.
+func (s Summary) String() string {
+	return fmt.Sprintf("n=%d mean=%.4g sd=%.3g min=%.4g med=%.4g max=%.4g",
+		s.N, s.Mean, s.StdDev, s.Min, s.Median, s.Max)
+}
+
+// MeanCI95 returns the sample mean together with the half-width of a 95%
+// normal-approximation confidence interval. For n < 2 the half-width is 0.
+func MeanCI95(xs []float64) (mean, halfWidth float64) {
+	mean = Mean(xs)
+	if len(xs) < 2 {
+		return mean, 0
+	}
+	const z = 1.96
+	return mean, z * StdDev(xs) / math.Sqrt(float64(len(xs)))
+}
+
+// Fit holds the result of an ordinary least-squares straight-line fit
+// y ≈ Slope*x + Intercept.
+type Fit struct {
+	Slope     float64
+	Intercept float64
+	R2        float64 // coefficient of determination in [0,1] (NaN if y is constant)
+}
+
+// LinearFit fits y = a*x + b by least squares. It returns an error when the
+// slice lengths differ, fewer than two points are supplied, or all x values
+// coincide.
+func LinearFit(xs, ys []float64) (Fit, error) {
+	if len(xs) != len(ys) {
+		return Fit{}, fmt.Errorf("stats: length mismatch %d != %d", len(xs), len(ys))
+	}
+	if len(xs) < 2 {
+		return Fit{}, errors.New("stats: need at least two points to fit a line")
+	}
+	mx, my := Mean(xs), Mean(ys)
+	sxx, sxy, syy := 0.0, 0.0, 0.0
+	for i := range xs {
+		dx, dy := xs[i]-mx, ys[i]-my
+		sxx += dx * dx
+		sxy += dx * dy
+		syy += dy * dy
+	}
+	if sxx == 0 {
+		return Fit{}, errors.New("stats: all x values are identical")
+	}
+	slope := sxy / sxx
+	f := Fit{Slope: slope, Intercept: my - slope*mx}
+	if syy == 0 {
+		f.R2 = math.NaN()
+	} else {
+		f.R2 = sxy * sxy / (sxx * syy)
+	}
+	return f, nil
+}
+
+// LogLogFit fits log(y) = slope*log(x) + intercept, i.e. the power law
+// y ≈ e^intercept * x^slope. All inputs must be strictly positive.
+func LogLogFit(xs, ys []float64) (Fit, error) {
+	if len(xs) != len(ys) {
+		return Fit{}, fmt.Errorf("stats: length mismatch %d != %d", len(xs), len(ys))
+	}
+	lx := make([]float64, len(xs))
+	ly := make([]float64, len(ys))
+	for i := range xs {
+		if xs[i] <= 0 || ys[i] <= 0 {
+			return Fit{}, fmt.Errorf("stats: log-log fit requires positive data, got (%v, %v) at %d", xs[i], ys[i], i)
+		}
+		lx[i] = math.Log(xs[i])
+		ly[i] = math.Log(ys[i])
+	}
+	return LinearFit(lx, ly)
+}
+
+// SemiLogYFit fits log(y) = slope*x + intercept, i.e. y ≈ e^intercept *
+// e^(slope*x): an exponential decay/growth fit. All y must be positive.
+func SemiLogYFit(xs, ys []float64) (Fit, error) {
+	if len(xs) != len(ys) {
+		return Fit{}, fmt.Errorf("stats: length mismatch %d != %d", len(xs), len(ys))
+	}
+	ly := make([]float64, len(ys))
+	for i := range ys {
+		if ys[i] <= 0 {
+			return Fit{}, fmt.Errorf("stats: semi-log fit requires positive y, got %v at %d", ys[i], i)
+		}
+		ly[i] = math.Log(ys[i])
+	}
+	return LinearFit(xs, ly)
+}
+
+// Histogram is a fixed-width binning of a sample over [Lo, Hi). Samples
+// outside the range are counted in Under/Over.
+type Histogram struct {
+	Lo, Hi float64
+	Counts []int
+	Under  int
+	Over   int
+}
+
+// NewHistogram creates a histogram with the given number of bins spanning
+// [lo, hi). It returns an error if bins < 1 or hi <= lo.
+func NewHistogram(lo, hi float64, bins int) (*Histogram, error) {
+	if bins < 1 {
+		return nil, fmt.Errorf("stats: histogram needs >= 1 bin, got %d", bins)
+	}
+	if hi <= lo {
+		return nil, fmt.Errorf("stats: histogram range [%v, %v) is empty", lo, hi)
+	}
+	return &Histogram{Lo: lo, Hi: hi, Counts: make([]int, bins)}, nil
+}
+
+// Add records one observation.
+func (h *Histogram) Add(x float64) {
+	switch {
+	case x < h.Lo:
+		h.Under++
+	case x >= h.Hi:
+		h.Over++
+	default:
+		i := int(float64(len(h.Counts)) * (x - h.Lo) / (h.Hi - h.Lo))
+		if i == len(h.Counts) { // guard float rounding at the top edge
+			i--
+		}
+		h.Counts[i]++
+	}
+}
+
+// Total returns the number of observations recorded, including out-of-range.
+func (h *Histogram) Total() int {
+	t := h.Under + h.Over
+	for _, c := range h.Counts {
+		t += c
+	}
+	return t
+}
+
+// BinCenter returns the midpoint of bin i.
+func (h *Histogram) BinCenter(i int) float64 {
+	w := (h.Hi - h.Lo) / float64(len(h.Counts))
+	return h.Lo + w*(float64(i)+0.5)
+}

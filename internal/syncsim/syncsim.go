@@ -1,0 +1,151 @@
+// Package syncsim provides a synchronous-round simulator and the first- and
+// second-order diffusion load-balancing schemes of Muthukrishnan, Ghosh and
+// Schultz (1998) — the non-convex precedent the paper's introduction cites
+// (reference [5]). It exists so experiment E11 can compare Algorithm A
+// against the established second-order method on sparse-cut graphs.
+//
+// In one synchronous round every node simultaneously updates from its
+// neighbours:
+//
+//	first order:   x(t+1) = W·x(t)
+//	second order:  x(t+1) = β·W·x(t) + (1−β)·x(t−1)
+//
+// where W is the Metropolis-style diffusion matrix
+// W = I − δ·L with δ = 1/(maxdeg+1) (doubly stochastic, so the average is
+// preserved), and β ∈ [1, 2) is the second-order parameter. The optimal β
+// for a known spectrum is β* = 2/(1 + √(1−ρ²)) with ρ the second-largest
+// eigenvalue modulus of W.
+//
+// To compare round counts against the asynchronous model's time axis, note
+// one synchronous round performs n simultaneous node updates while one
+// asynchronous time unit performs ~2·|E|/n updates per node; the experiment
+// harness reports both raw rounds and the per-node-update-normalised value.
+package syncsim
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"sparsecut/internal/graph"
+	"sparsecut/internal/spectral"
+)
+
+// Diffusion runs first- or second-order synchronous diffusion on a graph.
+type Diffusion struct {
+	g     *graph.Graph
+	delta float64
+	beta  float64 // 1 => first order
+	cur   []float64
+	prev  []float64
+	round int
+}
+
+// NewFirstOrder builds the first-order scheme x(t+1) = W·x(t).
+func NewFirstOrder(g *graph.Graph, x0 []float64) (*Diffusion, error) {
+	return newDiffusion(g, x0, 1)
+}
+
+// NewSecondOrder builds the second-order scheme with parameter beta in
+// [1, 2). beta = 1 degenerates to first order.
+func NewSecondOrder(g *graph.Graph, x0 []float64, beta float64) (*Diffusion, error) {
+	if beta < 1 || beta >= 2 {
+		return nil, fmt.Errorf("syncsim: beta %v outside [1,2)", beta)
+	}
+	return newDiffusion(g, x0, beta)
+}
+
+func newDiffusion(g *graph.Graph, x0 []float64, beta float64) (*Diffusion, error) {
+	if len(x0) != g.NumNodes() {
+		return nil, fmt.Errorf("syncsim: %d initial values for %d nodes", len(x0), g.NumNodes())
+	}
+	if g.NumNodes() == 0 {
+		return nil, errors.New("syncsim: empty graph")
+	}
+	return &Diffusion{
+		g:     g,
+		delta: 1 / float64(g.MaxDegree()+1),
+		beta:  beta,
+		cur:   append([]float64(nil), x0...),
+		prev:  append([]float64(nil), x0...),
+	}, nil
+}
+
+// OptimalBeta computes the asymptotically optimal second-order parameter
+// β* = 2/(1+√(1−ρ²)) from the spectrum of W = I − δL (Muthukrishnan et al.,
+// Theorem 3.1). It requires a connected graph.
+func OptimalBeta(g *graph.Graph, opts spectral.Options) (float64, error) {
+	if err := graph.RequireConnected(g); err != nil {
+		return 0, err
+	}
+	lam2, _, err := spectral.Lambda2(g, opts)
+	if err != nil {
+		return 0, fmt.Errorf("syncsim: lambda2: %w", err)
+	}
+	lamMax, err := spectral.LambdaMax(g, opts)
+	if err != nil {
+		return 0, fmt.Errorf("syncsim: lambda max: %w", err)
+	}
+	delta := 1 / float64(g.MaxDegree()+1)
+	// Eigenvalues of W are 1 - delta*lambda_i; rho is the second largest modulus.
+	rho := math.Max(math.Abs(1-delta*lam2), math.Abs(1-delta*lamMax))
+	if rho >= 1 {
+		return 0, fmt.Errorf("syncsim: spectral radius %v >= 1 (disconnected?)", rho)
+	}
+	return 2 / (1 + math.Sqrt(1-rho*rho)), nil
+}
+
+// Step advances one synchronous round.
+func (d *Diffusion) Step() {
+	n := d.g.NumNodes()
+	next := make([]float64, n)
+	for u := 0; u < n; u++ {
+		// (W x)_u = x_u + delta * sum_{v~u} (x_v - x_u)
+		acc := d.cur[u]
+		for _, he := range d.g.Neighbors(graph.NodeID(u)) {
+			acc += d.delta * (d.cur[he.Peer] - d.cur[u])
+		}
+		next[u] = d.beta*acc + (1-d.beta)*d.prev[u]
+	}
+	d.prev = d.cur
+	d.cur = next
+	d.round++
+}
+
+// Round returns the number of completed rounds.
+func (d *Diffusion) Round() int { return d.round }
+
+// Values returns a copy of the current vector.
+func (d *Diffusion) Values() []float64 { return append([]float64(nil), d.cur...) }
+
+// Mean returns the current average (preserved by first order exactly; the
+// second-order scheme preserves it because both W·x and x(t−1) do).
+func (d *Diffusion) Mean() float64 { return spectral.Mean(d.cur) }
+
+// Variance returns the paper's varX of the current vector.
+func (d *Diffusion) Variance() float64 { return spectral.Variance(d.cur) }
+
+// Name describes the scheme.
+func (d *Diffusion) Name() string {
+	if d.beta == 1 {
+		return "diffusion-1st"
+	}
+	return fmt.Sprintf("diffusion-2nd(beta=%.4g)", d.beta)
+}
+
+// RoundsToRatio runs the scheme until varX(t)/varX(0) <= ratio or maxRounds
+// is reached. It returns the number of rounds used and whether the target
+// was reached. A zero initial variance returns (0, true).
+func (d *Diffusion) RoundsToRatio(ratio float64, maxRounds int) (int, bool) {
+	var0 := d.Variance()
+	if var0 == 0 {
+		return 0, true
+	}
+	for r := 0; r < maxRounds; r++ {
+		if d.Variance()/var0 <= ratio {
+			return d.round, true
+		}
+		d.Step()
+	}
+	return d.round, d.Variance()/var0 <= ratio
+}

@@ -1,0 +1,189 @@
+package syncsim
+
+import (
+	"math"
+	"testing"
+
+	"sparsecut/internal/gossip"
+	"sparsecut/internal/graph"
+	"sparsecut/internal/rng"
+	"sparsecut/internal/spectral"
+)
+
+func TestConstructorValidation(t *testing.T) {
+	g := graph.Path(3)
+	if _, err := NewFirstOrder(g, []float64{1}); err == nil {
+		t.Error("length mismatch not rejected")
+	}
+	if _, err := NewSecondOrder(g, []float64{1, 2, 3}, 0.9); err == nil {
+		t.Error("beta < 1 not rejected")
+	}
+	if _, err := NewSecondOrder(g, []float64{1, 2, 3}, 2); err == nil {
+		t.Error("beta >= 2 not rejected")
+	}
+}
+
+func TestFirstOrderPreservesMean(t *testing.T) {
+	g := graph.Cycle(8)
+	r := rng.New(1)
+	x0 := gossip.UniformRandom(r, 8)
+	d, err := NewFirstOrder(g, x0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m0 := d.Mean()
+	for i := 0; i < 100; i++ {
+		d.Step()
+	}
+	if math.Abs(d.Mean()-m0) > 1e-12 {
+		t.Errorf("mean drifted %v -> %v", m0, d.Mean())
+	}
+	if d.Round() != 100 {
+		t.Errorf("round = %d", d.Round())
+	}
+}
+
+func TestSecondOrderPreservesMean(t *testing.T) {
+	g := graph.Grid(4, 4)
+	r := rng.New(2)
+	x0 := gossip.UniformRandom(r, 16)
+	d, err := NewSecondOrder(g, x0, 1.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m0 := d.Mean()
+	for i := 0; i < 200; i++ {
+		d.Step()
+	}
+	if math.Abs(d.Mean()-m0) > 1e-10 {
+		t.Errorf("mean drifted %v -> %v", m0, d.Mean())
+	}
+}
+
+func TestFirstOrderConverges(t *testing.T) {
+	g := graph.Complete(10)
+	x0, err := gossip.Spike(10, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := NewFirstOrder(g, x0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rounds, ok := d.RoundsToRatio(1e-6, 10000)
+	if !ok {
+		t.Fatal("did not converge")
+	}
+	if rounds <= 0 || rounds > 1000 {
+		t.Errorf("rounds = %d", rounds)
+	}
+	vals := d.Values()
+	for _, v := range vals {
+		if math.Abs(v-0.1) > 1e-3 {
+			t.Fatalf("values not averaged: %v", vals)
+		}
+	}
+}
+
+func TestSecondOrderBeatsFirstOrderOnPath(t *testing.T) {
+	// The Muthukrishnan et al. headline: second order with near-optimal beta
+	// converges in ~sqrt of the rounds of first order on slowly mixing
+	// graphs.
+	g := graph.Path(32)
+	x0 := gossip.Linear(32)
+
+	first, err := NewFirstOrder(g, x0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1, ok := first.RoundsToRatio(1e-4, 200000)
+	if !ok {
+		t.Fatal("first order did not converge")
+	}
+
+	beta, err := OptimalBeta(g, spectral.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := NewSecondOrder(g, x0, beta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, ok := second.RoundsToRatio(1e-4, 200000)
+	if !ok {
+		t.Fatal("second order did not converge")
+	}
+	if float64(r2) > 0.5*float64(r1) {
+		t.Errorf("second order %d rounds vs first order %d: expected clear speedup", r2, r1)
+	}
+}
+
+func TestOptimalBetaRange(t *testing.T) {
+	for _, g := range []*graph.Graph{graph.Path(16), graph.Cycle(12), graph.Complete(8)} {
+		beta, err := OptimalBeta(g, spectral.Options{})
+		if err != nil {
+			t.Fatalf("%s: %v", g, err)
+		}
+		if beta < 1 || beta >= 2 {
+			t.Errorf("%s: beta = %v outside [1,2)", g, beta)
+		}
+	}
+}
+
+func TestOptimalBetaRejectsDisconnected(t *testing.T) {
+	g := graph.NewBuilder(4).AddEdge(0, 1).AddEdge(2, 3).MustBuild()
+	if _, err := OptimalBeta(g, spectral.Options{}); err == nil {
+		t.Error("disconnected graph not rejected")
+	}
+}
+
+func TestValuesIsCopy(t *testing.T) {
+	g := graph.Path(2)
+	d, err := NewFirstOrder(g, []float64{1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := d.Values()
+	v[0] = 99
+	if d.Values()[0] == 99 {
+		t.Error("Values aliased internal state")
+	}
+}
+
+func TestNames(t *testing.T) {
+	g := graph.Path(2)
+	f, err := NewFirstOrder(g, []float64{0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewSecondOrder(g, []float64{0, 1}, 1.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Name() == s.Name() || f.Name() == "" {
+		t.Error("bad names")
+	}
+}
+
+func TestRoundsToRatioZeroVariance(t *testing.T) {
+	g := graph.Path(2)
+	d, err := NewFirstOrder(g, []float64{5, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rounds, ok := d.RoundsToRatio(0.1, 10)
+	if !ok || rounds != 0 {
+		t.Errorf("constant start: rounds=%d ok=%v", rounds, ok)
+	}
+}
+
+func TestRoundsToRatioTimeout(t *testing.T) {
+	g := graph.Path(64)
+	d, err := NewFirstOrder(g, gossip.Linear(64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := d.RoundsToRatio(1e-12, 3); ok {
+		t.Error("3 rounds cannot reach 1e-12 on P_64")
+	}
+}

@@ -1,0 +1,258 @@
+package walk
+
+import (
+	"math"
+	"testing"
+
+	"sparsecut/internal/rng"
+	"sparsecut/internal/stats"
+)
+
+func TestSimpleWalkParity(t *testing.T) {
+	r := rng.New(1)
+	path := SimpleWalk(r, 100)
+	if len(path) != 101 {
+		t.Fatalf("length %d", len(path))
+	}
+	if path[0] != 0 {
+		t.Error("walk does not start at 0")
+	}
+	for k := 1; k < len(path); k++ {
+		d := path[k] - path[k-1]
+		if d != 1 && d != -1 {
+			t.Fatalf("step %d has increment %d", k, d)
+		}
+	}
+}
+
+func TestSimpleWalkUnbiased(t *testing.T) {
+	r := rng.New(2)
+	const trials, steps = 4000, 64
+	sum := 0
+	for i := 0; i < trials; i++ {
+		p := SimpleWalk(r, steps)
+		sum += p[steps]
+	}
+	mean := float64(sum) / trials
+	// sd of the mean ~ sqrt(64)/sqrt(4000) = 0.126; allow 5 sigma.
+	if math.Abs(mean) > 0.7 {
+		t.Errorf("endpoint mean %v, want ~0", mean)
+	}
+}
+
+func TestTailProbabilityMatchesGaussian(t *testing.T) {
+	r := rng.New(3)
+	// P[S_n >= s*sqrt(n)] -> Phi-bar(s); for s=1: ~0.159, s=2: ~0.0228.
+	cases := []struct{ s, want, tol float64 }{
+		{0, 0.5, 0.03},
+		{1, 0.159, 0.02},
+		{2, 0.0228, 0.01},
+	}
+	for _, c := range cases {
+		p, err := TailProbability(r, 400, c.s, 20000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(p-c.want) > c.tol {
+			t.Errorf("s=%v: p=%v, want ~%v", c.s, p, c.want)
+		}
+	}
+}
+
+func TestTailProbabilityErrors(t *testing.T) {
+	r := rng.New(4)
+	if _, err := TailProbability(r, 0, 1, 10); err == nil {
+		t.Error("steps=0 not rejected")
+	}
+	if _, err := TailProbability(r, 10, 1, 0); err == nil {
+		t.Error("trials=0 not rejected")
+	}
+}
+
+func TestFitTailTheorem3(t *testing.T) {
+	// Theorem 3: P[S_n >= s sqrt(n)] <= c e^{-beta s^2}. The Gaussian limit
+	// has beta = 1/2; the fit should find beta in a band around it.
+	r := rng.New(5)
+	fit, err := FitTail(r, 256, []float64{0.5, 1, 1.5, 2, 2.5}, 40000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fit.Beta < 0.3 || fit.Beta > 0.8 {
+		t.Errorf("beta = %v, want ~0.5", fit.Beta)
+	}
+	if fit.C <= 0 || fit.C > 2 {
+		t.Errorf("c = %v", fit.C)
+	}
+	if fit.R2 < 0.95 {
+		t.Errorf("R2 = %v", fit.R2)
+	}
+	if len(fit.S) != 5 || len(fit.P) != 5 {
+		t.Error("sample points missing")
+	}
+	// And the bound itself must hold with a modest constant at each point.
+	for i, s := range fit.S {
+		bound := 1.2 * math.Exp(-fit.Beta*s*s)
+		if fit.P[i] > bound*1.5 {
+			t.Errorf("s=%v: p=%v violates fitted bound %v", s, fit.P[i], bound)
+		}
+	}
+}
+
+func TestFitTailErrors(t *testing.T) {
+	r := rng.New(6)
+	if _, err := FitTail(r, 100, []float64{1}, 100); err == nil {
+		t.Error("single s not rejected")
+	}
+	// Impossibly deep tails: all zero probabilities.
+	if _, err := FitTail(r, 100, []float64{50, 60}, 10); err == nil {
+		t.Error("all-zero tail points not rejected")
+	}
+}
+
+func TestNewDominating(t *testing.T) {
+	if _, err := NewDominating(1); err == nil {
+		t.Error("n=1 not rejected")
+	}
+	d, err := NewDominating(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(d.LogN-math.Log(8)) > 1e-15 {
+		t.Errorf("LogN = %v", d.LogN)
+	}
+}
+
+func TestDominatingSteps(t *testing.T) {
+	d, err := NewDominating(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	logN := math.Log(8)
+	r := rng.New(7)
+	plus, minus := 0, 0
+	for i := 0; i < 10000; i++ {
+		s := d.Step(r)
+		switch {
+		case math.Abs(s-logN) < 1e-12:
+			plus++
+		case math.Abs(s+1.5*logN) < 1e-12:
+			minus++
+		default:
+			t.Fatalf("unexpected increment %v", s)
+		}
+	}
+	ratio := float64(plus) / float64(plus+minus)
+	if math.Abs(ratio-0.5) > 0.02 {
+		t.Errorf("step ratio %v, want ~0.5", ratio)
+	}
+	if math.Abs(d.Drift()+logN/4) > 1e-12 {
+		t.Errorf("drift %v, want %v", d.Drift(), -logN/4)
+	}
+}
+
+func TestDominatingSampleDriftsDown(t *testing.T) {
+	d, err := NewDominating(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(8)
+	const k, trials = 200, 500
+	ends := make([]float64, trials)
+	for i := range ends {
+		path := d.Sample(r, k)
+		if len(path) != k+1 {
+			t.Fatal("wrong path length")
+		}
+		ends[i] = path[k]
+	}
+	wantMean := float64(k) * d.Drift()
+	gotMean := stats.Mean(ends)
+	if math.Abs(gotMean-wantMean) > math.Abs(wantMean)*0.15 {
+		t.Errorf("endpoint mean %v, want ~%v", gotMean, wantMean)
+	}
+}
+
+func TestLastTimeAbove(t *testing.T) {
+	path := []float64{0, 1, -3, 0.5, -4, -5}
+	if got := LastTimeAbove(path, -2); got != 3 {
+		t.Errorf("LastTimeAbove = %d, want 3", got)
+	}
+	if got := LastTimeAbove([]float64{-3, -4}, -2); got != -1 {
+		t.Errorf("never-above should be -1, got %d", got)
+	}
+}
+
+func TestHittingQuantileIsSmallConstant(t *testing.T) {
+	// The paper's point: there is a constant t0 (independent of n) with
+	// P[forall T > t0: W~_T <= -2] > 1 - 1/e. The (1-1/e)-quantile of the
+	// last-time-above--2 should be a small number of epochs and should not
+	// grow with n.
+	r := rng.New(9)
+	q16, err := HittingQuantile(r, 16, -2, 1-1/math.E, 2000, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q1024, err := HittingQuantile(r, 1024, -2, 1-1/math.E, 2000, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q16 > 50 {
+		t.Errorf("n=16 hitting quantile %v epochs: not a small constant", q16)
+	}
+	if q1024 > q16 {
+		t.Errorf("hitting quantile grew with n: %v -> %v", q16, q1024)
+	}
+}
+
+func TestHittingQuantileErrors(t *testing.T) {
+	r := rng.New(10)
+	if _, err := HittingQuantile(r, 1, -2, 0.5, 10, 10); err == nil {
+		t.Error("n=1 not rejected")
+	}
+}
+
+func TestAnalyzeEpochIncrements(t *testing.T) {
+	// Synthetic trajectory on n=8: two strong contractions, one weak bump.
+	logN := math.Log(8)
+	halfLogVar := []float64{0, -1.5 * logN, -3 * logN, -3*logN + 0.5, -4.5 * logN}
+	st, err := AnalyzeEpochIncrements(halfLogVar, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(st.Increments) != 4 {
+		t.Fatalf("%d increments", len(st.Increments))
+	}
+	if st.HardViolations != 0 {
+		t.Errorf("hard violations %d", st.HardViolations)
+	}
+	// One increment (+0.5) is weaker than -1.5*logN; the -1.5logN steps are
+	// boundary cases counted as weak only if strictly greater.
+	if st.FracWeak < 0.25 || st.FracWeak > 0.5 {
+		t.Errorf("frac weak %v", st.FracWeak)
+	}
+	if st.MaxIncrement != 0.5 {
+		t.Errorf("max increment %v", st.MaxIncrement)
+	}
+	if st.MeanIncrement >= 0 {
+		t.Errorf("mean increment %v, want negative", st.MeanIncrement)
+	}
+}
+
+func TestAnalyzeEpochIncrementsHardViolation(t *testing.T) {
+	st, err := AnalyzeEpochIncrements([]float64{0, 2 * math.Log(4)}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.HardViolations != 1 {
+		t.Errorf("hard violations %d, want 1", st.HardViolations)
+	}
+}
+
+func TestAnalyzeEpochIncrementsErrors(t *testing.T) {
+	if _, err := AnalyzeEpochIncrements([]float64{0}, 8); err == nil {
+		t.Error("short sequence not rejected")
+	}
+	if _, err := AnalyzeEpochIncrements([]float64{0, 1}, 1); err == nil {
+		t.Error("n=1 not rejected")
+	}
+}

@@ -1,0 +1,255 @@
+// Package sparsecut is a Go implementation of the algorithms and evaluation
+// of Hariharan Narayanan, "Distributed averaging in the presence of a
+// sparse cut" (PODC 2008, arXiv:0803.3642): asynchronous gossip averaging
+// on graphs whose two well-connected halves are joined by a sparse cut.
+//
+// The paper's contribution, implemented here as Algorithm A
+// (NewAlgorithmA), combines vanilla pairwise averaging inside each half
+// with a rare *non-convex* exchange across one designated cut edge. Any
+// algorithm restricted to convex pairwise updates needs averaging time
+// Ω(min(|V1|,|V2|)/|E12|) on such graphs (Theorem 1); Algorithm A needs
+// only O(log n · (Tvan(G1)+Tvan(G2))) (Theorem 2) — an exponential
+// separation in n on the two-clique dumbbell.
+//
+// # Quick start
+//
+//	g, part, _ := sparsecut.NewDumbbell(64, 64, 1)
+//	x0 := sparsecut.WorstCaseInit(part)
+//	alg, _ := sparsecut.NewAlgorithmA(g, x0, sparsecut.WithPartition(part))
+//	res := sparsecut.Simulate(g, alg, 50, 1)
+//	fmt.Printf("variance ratio after t=50: %g\n", res.VarianceRatio)
+//
+// The package is a facade over the implementation packages under
+// internal/: graph substrate, event-driven Poisson simulator, spectral
+// toolkit, cut detection, averaging-time estimation, the E1–E14 experiment
+// suite, and a real message-passing runtime. Everything is stdlib-only.
+package sparsecut
+
+import (
+	"fmt"
+	"io"
+
+	"sparsecut/internal/avgtime"
+	"sparsecut/internal/core"
+	"sparsecut/internal/cut"
+	"sparsecut/internal/experiments"
+	"sparsecut/internal/gossip"
+	"sparsecut/internal/graph"
+	"sparsecut/internal/rng"
+	"sparsecut/internal/sim"
+	"sparsecut/internal/spectral"
+)
+
+// Re-exported graph types. External users interact with them through this
+// package's constructors.
+type (
+	// Graph is an immutable simple undirected graph.
+	Graph = graph.Graph
+	// Partition is a two-way vertex partition with cut accounting.
+	Partition = graph.Partition
+	// NodeID identifies a vertex (dense, 0-based).
+	NodeID = graph.NodeID
+	// EdgeID identifies an edge (dense, 0-based).
+	EdgeID = graph.EdgeID
+	// Algorithm is a gossip process driven by edge clock ticks.
+	Algorithm = gossip.Algorithm
+	// Side labels a block of a two-way partition.
+	Side = graph.Side
+)
+
+// Partition side labels.
+const (
+	Side1 = graph.Side1
+	Side2 = graph.Side2
+)
+
+// Algorithm A configuration options, re-exported from the core package.
+var (
+	// WithPartition supplies a known sparse-cut partition to NewAlgorithmA
+	// (otherwise the cut is auto-detected by spectral bisection).
+	WithPartition = core.WithPartition
+	// WithCutEdge overrides the designated cut edge ec.
+	WithCutEdge = core.WithCutEdge
+	// WithWeightRule selects the swap coefficient strategy.
+	WithWeightRule = core.WithWeightRule
+	// WithWeight fixes the swap coefficient explicitly.
+	WithWeight = core.WithWeight
+	// WithEpochTicks fixes the swap period K in ticks of ec.
+	WithEpochTicks = core.WithEpochTicks
+	// WithEpochConstant sets the paper's constant C in
+	// K = ceil(C*(Tvan1+Tvan2)*ln n).
+	WithEpochConstant = core.WithEpochConstant
+	// WithTvan supplies per-side vanilla averaging times for the epoch
+	// formula.
+	WithTvan = core.WithTvan
+)
+
+// Swap-weight strategies for Algorithm A (see internal/core/weight.go for
+// the derivation).
+const (
+	// WeightExact is w* = n1*n2/(n1+n2), the coefficient that exactly
+	// annihilates both side means (the default).
+	WeightExact = core.WeightExact
+	// WeightPaper is the paper's literal coefficient n1.
+	WeightPaper = core.WeightPaper
+)
+
+// AlgorithmAOption configures NewAlgorithmA.
+type AlgorithmAOption = core.Option
+
+// NewDumbbell returns two cliques K_n1, K_n2 joined by cutEdges edges — the
+// paper's canonical sparse-cut graph — together with the planted partition.
+func NewDumbbell(n1, n2, cutEdges int) (*Graph, *Partition, error) {
+	return graph.Dumbbell(n1, n2, cutEdges)
+}
+
+// NewPlantedPartition returns a random two-community graph: within-side
+// edge probability pIn, cross probability pOut, retried until both sides
+// are internally connected with a non-empty cut.
+func NewPlantedPartition(seed uint64, n1, n2 int, pIn, pOut float64) (*Graph, *Partition, error) {
+	return graph.PlantedPartition(rng.New(seed), n1, n2, pIn, pOut, 500)
+}
+
+// NewSensorField returns a random geometric graph on the unit square whose
+// halves are separated by a wall with the given number of door edges — the
+// sensor-network scenario motivated by the paper's reference [6]. The
+// radius is 2x the standard connectivity radius.
+func NewSensorField(seed uint64, n, doors int) (*Graph, *Partition, error) {
+	return graph.WalledRGG(rng.New(seed), n, 2*graph.ConnectivityRadius(n), doors, 500)
+}
+
+// ReadGraph parses a graph in the package's edge-list format.
+func ReadGraph(r io.Reader) (*Graph, error) { return graph.ReadEdgeList(r) }
+
+// WriteGraph serialises a graph in the package's edge-list format.
+func WriteGraph(w io.Writer, g *Graph) error { return graph.WriteEdgeList(w, g) }
+
+// WriteDOT exports a graph (optionally with a highlighted partition) as
+// Graphviz DOT.
+func WriteDOT(w io.Writer, g *Graph, p *Partition) error { return graph.WriteDOT(w, g, p) }
+
+// FindSparseCut locates a sparse cut by spectral bisection with a sweep
+// cut. The graph must be connected.
+func FindSparseCut(g *Graph) (*Partition, error) {
+	return cut.SpectralBisection(g, spectral.Options{})
+}
+
+// AlgebraicConnectivity returns λ2 of the graph Laplacian, the spectral
+// quantity controlling vanilla gossip's averaging time (Tvan <= 6/λ2).
+func AlgebraicConnectivity(g *Graph) (float64, error) {
+	lam2, _, err := spectral.Lambda2(g, spectral.Options{})
+	return lam2, err
+}
+
+// WorstCaseInit returns the paper's worst-case initial vector for a
+// partition: +1 on V1, -n1/n2 on V2 (mean zero, all variance across the
+// cut).
+func WorstCaseInit(p *Partition) []float64 { return gossip.CutIndicator(p) }
+
+// RandomInit returns n i.i.d. uniform values on [-1, 1).
+func RandomInit(seed uint64, n int) []float64 {
+	return gossip.UniformRandom(rng.New(seed), n)
+}
+
+// NewVanillaGossip builds the baseline algorithm: a tick of an edge
+// replaces both endpoint values by their mean.
+func NewVanillaGossip(g *Graph, x0 []float64) (Algorithm, error) {
+	return gossip.NewVanilla(g, x0)
+}
+
+// NewConvexGossip builds the general class-C algorithm with mixing
+// parameter alpha in [0, 1] (alpha = 1/2 is vanilla).
+func NewConvexGossip(g *Graph, x0 []float64, alpha float64) (Algorithm, error) {
+	return gossip.NewConvex(g, x0, alpha)
+}
+
+// NewPushSum builds the mass-splitting push-sum baseline.
+func NewPushSum(g *Graph, x0 []float64, seed uint64) (Algorithm, error) {
+	return gossip.NewPushSum(g, x0, rng.New(seed))
+}
+
+// NewAlgorithmA builds the paper's Algorithm A. Without WithPartition the
+// sparse cut is auto-detected. The concrete type additionally exposes
+// Swaps, Weight, EpochTicks, SideMeans and EpochDuration.
+func NewAlgorithmA(g *Graph, x0 []float64, opts ...AlgorithmAOption) (*core.SparseCutAveraging, error) {
+	return core.New(g, x0, opts...)
+}
+
+// SimResult summarises a Simulate run.
+type SimResult struct {
+	// Time and Events are the simulated horizon actually reached.
+	Time   float64
+	Events int64
+	// Mean is the final average (invariant for sum-preserving algorithms).
+	Mean float64
+	// Variance is the final varX; VarianceRatio is Variance/varX(0).
+	Variance      float64
+	VarianceRatio float64
+}
+
+// Simulate drives alg with rate-1 Poisson edge clocks on g until simulated
+// time `until`, deterministically in seed. It panics only on programmer
+// error (nil algorithm); graph/algorithm mismatches surface when the
+// algorithm was constructed.
+func Simulate(g *Graph, alg Algorithm, until float64, seed uint64) SimResult {
+	var0 := alg.Variance()
+	eng, err := sim.NewEngine(g, alg, sim.WithSeed(seed))
+	if err != nil {
+		panic(fmt.Sprintf("sparsecut: Simulate: %v", err))
+	}
+	t, events := eng.Run(sim.Until(until))
+	res := SimResult{
+		Time:     t,
+		Events:   events,
+		Mean:     alg.Mean(),
+		Variance: alg.Variance(),
+	}
+	if var0 > 0 {
+		res.VarianceRatio = res.Variance / var0
+	}
+	return res
+}
+
+// Averaging-time estimation, re-exported from internal/avgtime.
+type (
+	// TavConfig configures MeasureAveragingTime (zero value = Definition 1
+	// defaults: threshold e^-2, confidence 1-1/e, 9 trials).
+	TavConfig = avgtime.Config
+	// TavResult is the estimate with per-trial data and censoring info.
+	TavResult = avgtime.Result
+)
+
+// Factory builds a fresh Algorithm for one estimation trial. The seed is a
+// trial-private value for algorithms needing internal randomness
+// (push-sum); deterministic algorithms may ignore it.
+type Factory func(trial int, seed uint64) (Algorithm, error)
+
+// MeasureAveragingTime estimates the paper's Tav (Definition 1) for the
+// algorithm produced by factory on g, by Monte-Carlo over independent
+// trials.
+func MeasureAveragingTime(g *Graph, factory Factory, cfg TavConfig) (TavResult, error) {
+	return avgtime.Estimate(g, func(trial int, r *rng.RNG) (gossip.Algorithm, error) {
+		return factory(trial, r.Uint64())
+	}, cfg)
+}
+
+// Experiment re-exports the evaluation-suite entry type.
+type Experiment = experiments.Experiment
+
+// Experiments returns the full E1–E14 evaluation suite (see DESIGN.md §4
+// for the mapping to paper claims).
+func Experiments() []Experiment { return experiments.All() }
+
+// RunExperiment executes one experiment by ID ("E1".."E12"), writing its
+// table or CSV series to w. Quick mode shrinks sizes for CI-grade runs.
+func RunExperiment(w io.Writer, id string, quick bool, seed uint64) (map[string]float64, error) {
+	e, ok := experiments.ByID(id)
+	if !ok {
+		return nil, fmt.Errorf("sparsecut: unknown experiment %q", id)
+	}
+	out, err := e.Run(w, experiments.Params{Quick: quick, Seed: seed})
+	if err != nil {
+		return nil, err
+	}
+	return out.Metrics, nil
+}

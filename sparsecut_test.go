@@ -1,0 +1,222 @@
+package sparsecut
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestQuickstartFlow(t *testing.T) {
+	// The README quick-start, as a test.
+	g, part, err := NewDumbbell(16, 16, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x0 := WorstCaseInit(part)
+	alg, err := NewAlgorithmA(g, x0, WithPartition(part))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := Simulate(g, alg, 50, 1)
+	if res.VarianceRatio > 1e-6 {
+		t.Errorf("variance ratio %v after t=50", res.VarianceRatio)
+	}
+	if math.Abs(res.Mean) > 1e-9 {
+		t.Errorf("mean drifted to %v", res.Mean)
+	}
+	if res.Events <= 0 || res.Time < 50 {
+		t.Errorf("res = %+v", res)
+	}
+	if alg.Swaps() == 0 {
+		t.Error("no swaps fired")
+	}
+}
+
+func TestVanillaVsAlgorithmA(t *testing.T) {
+	g, part, err := NewDumbbell(24, 24, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x0 := WorstCaseInit(part)
+	van, err := NewVanillaGossip(g, x0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	algA, err := NewAlgorithmA(g, x0, WithPartition(part))
+	if err != nil {
+		t.Fatal(err)
+	}
+	horizon := 15.0
+	rv := Simulate(g, van, horizon, 2)
+	ra := Simulate(g, algA, horizon, 2)
+	if ra.VarianceRatio >= rv.VarianceRatio {
+		t.Errorf("A ratio %v not below vanilla %v at t=%v", ra.VarianceRatio, rv.VarianceRatio, horizon)
+	}
+}
+
+func TestConvexAndPushSumConstructors(t *testing.T) {
+	g, _, err := NewDumbbell(8, 8, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x0 := RandomInit(3, g.NumNodes())
+	c, err := NewConvexGossip(g, x0, 0.7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := NewPushSum(g, x0, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Convex algorithms cross the dumbbell's single cut edge slowly
+	// (that is Theorem 1); the horizon checks convergence trend, not speed.
+	for _, alg := range []Algorithm{c, p} {
+		res := Simulate(g, alg, 100, 5)
+		if res.VarianceRatio > 1e-4 {
+			t.Errorf("%s: ratio %v", alg.Name(), res.VarianceRatio)
+		}
+	}
+	if _, err := NewConvexGossip(g, x0, 2); err == nil {
+		t.Error("alpha out of range not rejected")
+	}
+}
+
+func TestFindSparseCutOnDumbbell(t *testing.T) {
+	g, planted, err := NewDumbbell(10, 10, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := FindSparseCut(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.CutSize() != planted.CutSize() {
+		t.Errorf("detected cut %d, planted %d", p.CutSize(), planted.CutSize())
+	}
+}
+
+func TestAlgebraicConnectivity(t *testing.T) {
+	g, _, err := NewDumbbell(8, 8, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lam2, err := AlgebraicConnectivity(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lam2 <= 0 || lam2 > 1 {
+		t.Errorf("dumbbell lambda2 = %v, want small positive", lam2)
+	}
+}
+
+func TestGraphIO(t *testing.T) {
+	g, part, err := NewPlantedPartition(5, 10, 12, 0.8, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteGraph(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := ReadGraph(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.NumEdges() != g.NumEdges() {
+		t.Error("graph round trip changed edge count")
+	}
+	var dot bytes.Buffer
+	if err := WriteDOT(&dot, g, part); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(dot.String(), "graph") {
+		t.Error("DOT output malformed")
+	}
+}
+
+func TestNewSensorField(t *testing.T) {
+	g, part, err := NewSensorField(7, 60, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if part.CutSize() != 2 {
+		t.Errorf("doors = %d, want 2", part.CutSize())
+	}
+	if !g.HasPositions() {
+		t.Error("sensor field should carry positions")
+	}
+}
+
+func TestMeasureAveragingTime(t *testing.T) {
+	g, part, err := NewDumbbell(12, 12, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x0 := WorstCaseInit(part)
+	res, err := MeasureAveragingTime(g, func(int, uint64) (Algorithm, error) {
+		return NewVanillaGossip(g, x0)
+	}, TavConfig{Trials: 3, MaxTime: 1e3, MarginFactor: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Tav <= 0 {
+		t.Errorf("Tav = %v", res.Tav)
+	}
+	if res.Censored != 0 {
+		t.Errorf("censored = %d", res.Censored)
+	}
+}
+
+func TestExperimentsRegistry(t *testing.T) {
+	all := Experiments()
+	if len(all) != 14 {
+		t.Fatalf("%d experiments", len(all))
+	}
+	var buf bytes.Buffer
+	metrics, err := RunExperiment(&buf, "E7", true, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if metrics["beta"] <= 0 {
+		t.Error("E7 metrics missing")
+	}
+	if _, err := RunExperiment(&buf, "E99", true, 2); err == nil {
+		t.Error("unknown experiment not rejected")
+	}
+}
+
+func TestSimulatePanicsOnNilAlgorithm(t *testing.T) {
+	g, _, err := NewDumbbell(4, 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Simulate(nil) did not panic")
+		}
+	}()
+	Simulate(g, nil, 1, 1)
+}
+
+func TestWeightRuleReexports(t *testing.T) {
+	g, part, err := NewDumbbell(8, 8, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := NewAlgorithmA(g, WorstCaseInit(part), WithPartition(part), WithWeightRule(WeightPaper))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Weight() != 8 {
+		t.Errorf("paper weight = %v, want n1 = 8", a.Weight())
+	}
+	b, err := NewAlgorithmA(g, WorstCaseInit(part), WithPartition(part),
+		WithEpochTicks(3), WithWeight(2.5), WithCutEdge(part.CutEdges()[0]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Weight() != 2.5 || b.EpochTicks() != 3 {
+		t.Errorf("custom config not applied: %v, %v", b.Weight(), b.EpochTicks())
+	}
+}
