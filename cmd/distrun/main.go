@@ -1,0 +1,180 @@
+// Command distrun runs one gossip-averaging workload on the *decentralized*
+// message-passing runtime — one goroutine per node, explicit transport —
+// and reports the outcome, optionally against the sequential simulator on
+// the same graph, horizon and seed.
+//
+// Usage:
+//
+//	distrun -graph dumbbell -n 16 -cut 1 -rule A        -until 40
+//	distrun -graph dumbbell -n 16 -rule A -drop 0.05    -until 40 -compare
+//	distrun -graph planted  -n 60 -rule vanilla -delay 2ms -until 20
+//	distrun -graph sensor   -n 64 -cut 2 -rule A -tcp   -until 30
+//
+// -drop injects i.i.d. message loss, -delay random per-message latency, and
+// -tcp carries every protocol message over loopback TCP sockets. -scale
+// sets the wall-clock length of one simulated time unit: smaller runs
+// faster but leaves less headroom over transport latency.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"time"
+
+	"sparsecut"
+)
+
+func main() {
+	var (
+		graphKind = flag.String("graph", "dumbbell", "graph family: dumbbell | planted | sensor")
+		n         = flag.Int("n", 16, "total number of nodes")
+		cutEdges  = flag.Int("cut", 1, "cut edges (dumbbell) or doors (sensor)")
+		ruleKind  = flag.String("rule", "A", "exchange rule: A | vanilla")
+		epochK    = flag.Int64("epoch", 4, "swap period K in ticks of ec (rule A); too small under-mixes the sides between swaps")
+		until     = flag.Float64("until", 40, "horizon in simulated time units")
+		scale     = flag.Duration("scale", 4*time.Millisecond, "wall-clock length of one simulated time unit")
+		drop      = flag.Float64("drop", 0, "message loss probability in [0,1)")
+		delay     = flag.Duration("delay", 0, "max random per-message latency (0 = none)")
+		useTCP    = flag.Bool("tcp", false, "carry messages over loopback TCP instead of in-memory channels")
+		seed      = flag.Uint64("seed", 1, "random seed")
+		compare   = flag.Bool("compare", false, "also run the sequential simulator on the same workload")
+	)
+	flag.Parse()
+
+	g, part, err := buildGraph(*graphKind, *n, *cutEdges, *seed)
+	if err != nil {
+		fatal(err)
+	}
+	x0 := sparsecut.WorstCaseInit(part)
+	rule, err := buildRule(*ruleKind, part, *epochK)
+	if err != nil {
+		fatal(err)
+	}
+	tr, desc, err := buildTransport(g, *useTCP, *drop, *delay, *seed)
+	if err != nil {
+		fatal(err)
+	}
+
+	cfg := sparsecut.ClusterConfig{
+		TimeScale: *scale,
+		Seed:      *seed,
+		Transport: tr,
+	}
+	if *delay > 0 {
+		// The lock timeout must exceed the worst-case message round trip
+		// (three one-way hops) or the initiator refuses every proposal as
+		// stale and nothing commits.
+		cfg.LockTimeout = 4 * *delay
+	}
+	cl, err := sparsecut.NewCluster(g, x0, rule, cfg)
+	if err != nil {
+		fatal(err)
+	}
+	var0 := cl.Variance()
+
+	fmt.Printf("graph:      %s\n", g)
+	fmt.Printf("partition:  %s\n", part)
+	fmt.Printf("rule:       %s\n", rule.Name())
+	fmt.Printf("transport:  %s\n", desc)
+	fmt.Printf("running:    %d node goroutines for t=%g (~%v wall)...\n",
+		g.NumNodes(), *until, (time.Duration(*until * float64(*scale))).Round(time.Millisecond))
+	start := time.Now()
+	if err := cl.Run(context.Background(), *until); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("done in     %v\n\n", time.Since(start).Round(time.Millisecond))
+	fmt.Printf("exchanges:  %d committed, %d aborted\n", cl.Exchanges(), cl.Aborted())
+	fmt.Printf("mean drift: %.6g\n", math.Abs(cl.Mean()))
+	fmt.Printf("var ratio:  %.6g\n", cl.Variance()/var0)
+
+	if *compare {
+		alg, err := buildSimAlgorithm(*ruleKind, g, part, x0, *epochK)
+		if err != nil {
+			fatal(err)
+		}
+		res := sparsecut.Simulate(g, alg, *until, *seed)
+		fmt.Printf("\nsimulator on the same workload (t=%g, seed %d):\n", *until, *seed)
+		fmt.Printf("events:     %d\n", res.Events)
+		fmt.Printf("var ratio:  %.6g\n", res.VarianceRatio)
+	}
+}
+
+func buildGraph(kind string, n, cutEdges int, seed uint64) (*sparsecut.Graph, *sparsecut.Partition, error) {
+	switch kind {
+	case "dumbbell":
+		return sparsecut.NewDumbbell(n/2, n-n/2, cutEdges)
+	case "planted":
+		pOut := 3.0 / float64(n*n/4)
+		return sparsecut.NewPlantedPartition(seed, n/2, n-n/2, 0.5, pOut)
+	case "sensor":
+		return sparsecut.NewSensorField(seed, n, cutEdges)
+	default:
+		return nil, nil, fmt.Errorf("unknown graph family %q", kind)
+	}
+}
+
+func buildRule(kind string, part *sparsecut.Partition, epochK int64) (sparsecut.ExchangeRule, error) {
+	switch kind {
+	case "A":
+		return sparsecut.NewSparseCutExchange(part, part.CutEdges()[0], epochK, sparsecut.ExactSwapWeight(part))
+	case "vanilla":
+		return sparsecut.NewAveragingExchange(), nil
+	default:
+		return nil, fmt.Errorf("unknown rule %q", kind)
+	}
+}
+
+func buildSimAlgorithm(kind string, g *sparsecut.Graph, part *sparsecut.Partition, x0 []float64, epochK int64) (sparsecut.Algorithm, error) {
+	switch kind {
+	case "A":
+		return sparsecut.NewAlgorithmA(g, x0, sparsecut.WithPartition(part),
+			sparsecut.WithEpochTicks(epochK), sparsecut.WithWeight(sparsecut.ExactSwapWeight(part)))
+	case "vanilla":
+		return sparsecut.NewVanillaGossip(g, x0)
+	default:
+		return nil, fmt.Errorf("unknown rule %q", kind)
+	}
+}
+
+func buildTransport(g *sparsecut.Graph, useTCP bool, drop float64, delay time.Duration, seed uint64) (sparsecut.Transport, string, error) {
+	var tr sparsecut.Transport
+	desc := ""
+	if useTCP {
+		tcp, err := sparsecut.NewTCPTransport(g.NumNodes())
+		if err != nil {
+			return nil, "", err
+		}
+		port, _ := tcp.Port(0)
+		tr = tcp
+		desc = fmt.Sprintf("loopback TCP (%d listeners, node 0 on port %d)", g.NumNodes(), port)
+	} else {
+		buf := 4 * g.NumNodes()
+		tr = sparsecut.NewChanTransport(buf)
+		desc = fmt.Sprintf("in-memory channels (buffer %d per mailbox)", buf)
+	}
+	if delay > 0 {
+		var err error
+		tr, err = sparsecut.NewDelayTransport(tr, delay, seed+17)
+		if err != nil {
+			return nil, "", err
+		}
+		desc += fmt.Sprintf(" + uniform delay [0,%v)", delay)
+	}
+	if drop > 0 {
+		var err error
+		tr, err = sparsecut.NewDropTransport(tr, drop, seed+99)
+		if err != nil {
+			return nil, "", err
+		}
+		desc += fmt.Sprintf(" + %.0f%% loss", drop*100)
+	}
+	return tr, desc, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "distrun:", err)
+	os.Exit(1)
+}

@@ -1,7 +1,7 @@
 // Cluster: run Algorithm A as a *real* decentralized protocol — one
-// goroutine per node, one per edge clock, coordinating through explicit
-// messages (ordered try-lock exchanges with leases and retransmission)
-// instead of a shared-memory simulator.
+// goroutine per node, each driven by its private Poisson clock,
+// coordinating through explicit messages (try-lock exchanges with leases
+// and grant retransmission) instead of a shared-memory simulator.
 //
 // By default the transport is in-memory channels; pass -tcp to carry every
 // protocol message over loopback TCP sockets. Pass -drop 0.05 to inject
@@ -17,9 +17,6 @@ import (
 	"time"
 
 	"sparsecut"
-	"sparsecut/internal/core"
-	"sparsecut/internal/dist"
-	"sparsecut/internal/rng"
 )
 
 func main() {
@@ -37,35 +34,38 @@ func main() {
 		log.Fatal(err)
 	}
 	x0 := sparsecut.WorstCaseInit(part)
-	rule, err := dist.NewSparseCutRule(part, part.CutEdges()[0], 2, core.ExactWeight(part))
+	// Swap every 4th tick of the cut edge — roughly the paper's
+	// K = C·(Tvan1+Tvan2)·ln n for dumbbells of this size.
+	rule, err := sparsecut.NewSparseCutExchange(part, part.CutEdges()[0], 4, sparsecut.ExactSwapWeight(part))
 	if err != nil {
 		log.Fatal(err)
 	}
 
-	addrs := g.NumNodes() + g.NumEdges()
-	var tr dist.Transport
+	var tr sparsecut.Transport
 	if *useTCP {
-		tcp, err := dist.NewTCPTransport(addrs)
+		tcp, err := sparsecut.NewTCPTransport(g.NumNodes())
 		if err != nil {
 			log.Fatal(err)
 		}
 		port, _ := tcp.Port(0)
-		fmt.Printf("transport: loopback TCP (%d listeners, node 0 on port %d)\n", addrs, port)
+		fmt.Printf("transport: loopback TCP (%d listeners, node 0 on port %d)\n", g.NumNodes(), port)
 		tr = tcp
 	} else {
-		fmt.Printf("transport: in-memory channels (%d mailboxes)\n", addrs)
-		tr = dist.NewChanTransport(addrs)
+		buf := 4 * g.NumNodes()
+		fmt.Printf("transport: in-memory channels (buffer %d per mailbox)\n", buf)
+		tr = sparsecut.NewChanTransport(buf)
 	}
 	if *drop > 0 {
-		tr, err = dist.NewDropTransport(tr, *drop, rng.New(*seed+99))
+		tr, err = sparsecut.NewDropTransport(tr, *drop, *seed+99)
 		if err != nil {
 			log.Fatal(err)
 		}
 		fmt.Printf("fault injection: dropping %.0f%% of messages\n", *drop*100)
 	}
 
-	cl, err := dist.NewCluster(g, x0, rule, dist.ClusterConfig{
-		TimeScale: 8 * time.Millisecond,
+	const scale = 8 * time.Millisecond
+	cl, err := sparsecut.NewCluster(g, x0, rule, sparsecut.ClusterConfig{
+		TimeScale: scale,
 		Seed:      *seed,
 		Transport: tr,
 	})
@@ -75,8 +75,8 @@ func main() {
 
 	fmt.Printf("graph:     %s\n", g)
 	fmt.Printf("rule:      %s\n", rule.Name())
-	fmt.Printf("running:   %d node + %d clock goroutines for t=%g (%.1fs wall)...\n",
-		g.NumNodes(), g.NumEdges(), *duration, *duration*0.008)
+	fmt.Printf("running:   %d node goroutines (private Poisson clocks) for t=%g (~%v wall)...\n",
+		g.NumNodes(), *duration, time.Duration(*duration*float64(scale)).Round(time.Millisecond))
 	start := time.Now()
 	if err := cl.Run(context.Background(), *duration); err != nil {
 		log.Fatal(err)

@@ -1,0 +1,3 @@
+module sparsecut
+
+go 1.24

@@ -1,0 +1,310 @@
+// Package dist is the decentralized counterpart of internal/sim: instead of
+// an event loop mutating shared state, every graph node is a goroutine that
+// owns its value, drives itself with a private exponential timer, and
+// negotiates pairwise exchanges with its neighbours over an explicit,
+// pluggable (and deliberately unreliable) Transport.
+//
+// The runtime exists to back the paper's Section 1 claim that Algorithm A
+// is *decentralized*: the same local rules the simulator applies centrally
+// (vanilla averaging plus the rare non-convex cut swap) run here as a
+// message-passing protocol whose per-pair atomicity is enforced by a
+// lock/propose-commit/ack handshake (see node.go), not by a global event
+// queue. Experiment E12 compares the two executions with and without
+// message loss; cmd/distrun drives the runtime from the command line.
+//
+// The timing model matches internal/sim exactly in distribution: node u
+// initiates at Poisson rate deg(u)/2 over a uniform incident edge, which
+// superposes to an independent rate-1 clock per edge — the paper's model.
+// One simulated time unit is ClusterConfig.TimeScale of wall-clock time.
+package dist
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"sparsecut/internal/graph"
+	"sparsecut/internal/rng"
+)
+
+// ClusterConfig configures NewCluster. TimeScale, Seed and Transport are
+// the knobs experiments use; the remaining fields tune the protocol and
+// default sensibly from TimeScale.
+type ClusterConfig struct {
+	// TimeScale is the wall-clock duration of one simulated time unit
+	// (default 4ms). Smaller is faster but leaves less headroom between
+	// the mean clock gap and transport latency.
+	TimeScale time.Duration
+	// Seed drives every per-node clock and edge choice.
+	Seed uint64
+	// Transport carries protocol messages (default: a fresh ChanTransport
+	// whose mailboxes each buffer 4·NumNodes messages).
+	Transport Transport
+	// LockTimeout bounds how long an initiator waits for a proposal
+	// before aborting (default TimeScale/4, at least 1ms). It must
+	// comfortably exceed the transport's worst-case round trip — a
+	// proposal arriving after the timeout is refused as stale, so with
+	// LockTimeout below the typical latency (e.g. a DelayTransport's
+	// range) essentially no exchange commits.
+	LockTimeout time.Duration
+	// ResendEvery is the proposal retransmission lease period (default
+	// LockTimeout/2).
+	ResendEvery time.Duration
+}
+
+// Cluster runs a Rule as a real concurrent message-passing system on a
+// graph. Construct with NewCluster, drive with Run. The observable
+// accessors (Mean, Variance, Values, Exchanges, Aborted) must not be
+// called while a Run is in progress.
+type Cluster struct {
+	g    *graph.Graph
+	rule Rule
+	cfg  ClusterConfig
+	tr   Transport
+
+	lockTimeout time.Duration
+	resendEvery time.Duration
+
+	nodes  []*node
+	values []float64
+	// epoch numbers the Runs; messages carry it so leftovers stranded in
+	// mailboxes across a run boundary are recognised and dropped. Written
+	// only by Run before the node goroutines start.
+	epoch uint64
+
+	exchanges atomic.Int64
+	aborted   atomic.Int64
+	// awaiting and pending count outstanding initiations and held
+	// proposals; the drain phase of Run waits for both to hit zero, which
+	// guarantees every exchange has fully committed or fully aborted.
+	awaiting atomic.Int64
+	pending  atomic.Int64
+
+	running atomic.Bool
+	wg      sync.WaitGroup
+
+	errMu     sync.Mutex
+	sendErr   error
+	runCancel context.CancelFunc
+}
+
+// NewCluster builds a runtime for rule on g with initial values x0
+// (copied). Node i's mailbox is transport address i.
+func NewCluster(g *graph.Graph, x0 []float64, rule Rule, cfg ClusterConfig) (*Cluster, error) {
+	if g == nil || g.NumNodes() == 0 {
+		return nil, errors.New("dist: cluster requires a non-empty graph")
+	}
+	if g.NumEdges() == 0 {
+		return nil, fmt.Errorf("dist: %s has no edges to exchange over", g)
+	}
+	if len(x0) != g.NumNodes() {
+		return nil, fmt.Errorf("dist: %d initial values for %d nodes", len(x0), g.NumNodes())
+	}
+	if rule == nil {
+		return nil, errors.New("dist: cluster requires a rule")
+	}
+	if cfg.TimeScale < 0 || cfg.LockTimeout < 0 || cfg.ResendEvery < 0 {
+		return nil, errors.New("dist: negative durations in config")
+	}
+	if cfg.TimeScale == 0 {
+		cfg.TimeScale = 4 * time.Millisecond
+	}
+	if cfg.Transport == nil {
+		cfg.Transport = NewChanTransport(4 * g.NumNodes())
+	}
+	c := &Cluster{
+		g:      g,
+		rule:   rule,
+		cfg:    cfg,
+		tr:     cfg.Transport,
+		values: append([]float64(nil), x0...),
+	}
+	c.lockTimeout = cfg.LockTimeout
+	if c.lockTimeout == 0 {
+		c.lockTimeout = cfg.TimeScale / 4
+		if c.lockTimeout < time.Millisecond {
+			c.lockTimeout = time.Millisecond
+		}
+	}
+	c.resendEvery = cfg.ResendEvery
+	if c.resendEvery == 0 {
+		c.resendEvery = c.lockTimeout / 2
+		if c.resendEvery <= 0 {
+			c.resendEvery = c.lockTimeout
+		}
+	}
+	root := rng.New(cfg.Seed)
+	c.nodes = make([]*node, g.NumNodes())
+	for i := range c.nodes {
+		inbox, err := c.tr.Recv(i)
+		if err != nil {
+			return nil, fmt.Errorf("dist: mailbox for node %d: %w", i, err)
+		}
+		c.nodes[i] = newNode(i, c, root.Split(), inbox, x0[i])
+	}
+	return c, nil
+}
+
+// Run executes the protocol for the given duration in simulated time units
+// (wall time duration·TimeScale), or until ctx is cancelled, whichever is
+// first. Shutdown is deterministic and loss-proof: after the horizon the
+// nodes drain — no new initiations or proposals, but retransmission continues
+// — until every in-flight exchange has resolved, so the value sum is
+// preserved exactly across the run boundary. Run may be called again to
+// continue from the current values.
+func (c *Cluster) Run(ctx context.Context, duration float64) error {
+	if !(duration > 0) || math.IsInf(duration, 0) {
+		return fmt.Errorf("dist: duration %v must be positive and finite", duration)
+	}
+	if duration*float64(c.cfg.TimeScale) >= float64(math.MaxInt64) {
+		// Would overflow time.Duration and silently become an instant
+		// no-op run via a negative context deadline.
+		return fmt.Errorf("dist: duration %v at time scale %v exceeds the representable wall time", duration, c.cfg.TimeScale)
+	}
+	if !c.running.CompareAndSwap(false, true) {
+		return errors.New("dist: Run already in progress")
+	}
+	defer c.running.Store(false)
+
+	wall := time.Duration(duration * float64(c.cfg.TimeScale))
+	runCtx, cancel := context.WithTimeout(ctx, wall)
+	defer cancel()
+	// A transport that fails permanently mid-run (e.g. closed underneath
+	// us) would otherwise leave the horizon wait and the drain loop with
+	// nothing to wait for; the first send error cuts the run short.
+	c.errMu.Lock()
+	c.sendErr = nil
+	c.runCancel = cancel
+	c.errMu.Unlock()
+
+	drainC := make(chan struct{})
+	stopC := make(chan struct{})
+	var drainWG sync.WaitGroup
+	c.epoch++
+	for i, nd := range c.nodes {
+		nd.x = c.values[i]
+		nd.await = nil
+		nd.pend = nil
+		c.wg.Add(1)
+		drainWG.Add(1)
+		go nd.loop(drainC, stopC, &drainWG)
+	}
+
+	<-runCtx.Done()
+
+	// Drain. Once every node has acknowledged the drain signal (drainWG),
+	// no node will initiate or propose again, so awaiting and pending
+	// are monotone non-increasing and their joint zero is a stable global
+	// quiescence point: every exchange has fully resolved.
+	close(drainC)
+	drainWG.Wait()
+	for c.awaiting.Load() != 0 || c.pending.Load() != 0 {
+		if c.sendFailed() {
+			break // the transport is gone; retransmission cannot succeed
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+	close(stopC)
+	c.wg.Wait()
+
+	// Settle any proposals stranded by a failed transport. All state is
+	// in-process after wg.Wait, so the cluster resolves each held
+	// proposal the way its initiator already decided: if the initiator
+	// applied (+delta committed but the COMMIT message was lost), land
+	// the responder's half; otherwise nothing was applied anywhere and
+	// the proposal is simply discarded. The sum stays exact even across
+	// a transport death. On a healthy shutdown this loop finds nothing.
+	for _, nd := range c.nodes {
+		if nd.pend != nil {
+			init := c.nodes[nd.pend.msg.To]
+			if init.lastApplied[nd.id] >= nd.pend.msg.Seq {
+				nd.x -= nd.pend.msg.X
+				c.exchanges.Add(1)
+			}
+			nd.pend = nil
+		}
+		nd.await = nil
+	}
+	c.awaiting.Store(0)
+	c.pending.Store(0)
+
+	for i, nd := range c.nodes {
+		c.values[i] = nd.x
+	}
+	if err := ctx.Err(); err != nil {
+		return err // the caller cut the run short; state is still consistent
+	}
+	c.errMu.Lock()
+	defer c.errMu.Unlock()
+	return c.sendErr
+}
+
+func (c *Cluster) noteSendErr(err error) {
+	c.errMu.Lock()
+	if c.sendErr == nil {
+		c.sendErr = err
+		if c.runCancel != nil {
+			c.runCancel()
+		}
+	}
+	c.errMu.Unlock()
+}
+
+func (c *Cluster) sendFailed() bool {
+	c.errMu.Lock()
+	defer c.errMu.Unlock()
+	return c.sendErr != nil
+}
+
+// Graph returns the cluster's graph.
+func (c *Cluster) Graph() *graph.Graph { return c.g }
+
+// Rule returns the exchange rule in use.
+func (c *Cluster) Rule() Rule { return c.rule }
+
+// Values returns a copy of the current value vector.
+func (c *Cluster) Values() []float64 {
+	return append([]float64(nil), c.values...)
+}
+
+// Mean returns the current average value. Committed exchanges apply exact
+// antisymmetric deltas, so the mean is invariant up to float rounding.
+func (c *Cluster) Mean() float64 {
+	if len(c.values) == 0 {
+		return math.NaN()
+	}
+	s := 0.0
+	for _, v := range c.values {
+		s += v
+	}
+	return s / float64(len(c.values))
+}
+
+// Variance returns the paper's varX of the current values.
+func (c *Cluster) Variance() float64 {
+	n := float64(len(c.values))
+	if n == 0 {
+		return 0
+	}
+	m := c.Mean()
+	s := 0.0
+	for _, v := range c.values {
+		d := v - m
+		s += d * d
+	}
+	return s / n
+}
+
+// Exchanges returns the number of committed exchanges (counted at the
+// responder's commit point).
+func (c *Cluster) Exchanges() int64 { return c.exchanges.Load() }
+
+// Aborted returns the number of aborted initiation attempts: NACKed by a
+// busy or draining peer, or timed out waiting for a proposal (lost LOCK,
+// or a proposal so late that the initiator gave up and refused it — such
+// an exchange commits nowhere).
+func (c *Cluster) Aborted() int64 { return c.aborted.Load() }

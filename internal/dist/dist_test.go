@@ -1,0 +1,474 @@
+package dist
+
+import (
+	"context"
+	"math"
+	"runtime"
+	"testing"
+	"time"
+
+	"sparsecut/internal/gossip"
+	"sparsecut/internal/graph"
+	"sparsecut/internal/rng"
+	"sparsecut/internal/sim"
+)
+
+// dumbbellCase builds the canonical worst case: two 6-cliques, one cut
+// edge, all initial variance across the cut.
+func dumbbellCase(t *testing.T) (*graph.Graph, *graph.Partition, []float64) {
+	t.Helper()
+	g, part, err := graph.Dumbbell(6, 6, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g, part, gossip.CutIndicator(part)
+}
+
+func sum(xs []float64) float64 {
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}
+
+func TestSumConservedAcrossAbortsAndDrops(t *testing.T) {
+	g, part, x0 := dumbbellCase(t)
+	rule, err := NewSparseCutRule(part, part.CutEdges()[0], 2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A deliberately hostile transport: every message is delayed by up to
+	// 2ms and then dropped with probability 0.25. The lock timeout must
+	// exceed the worst-case round trip (3 messages) or the initiator
+	// refuses every proposal as stale; 10ms leaves room for one drop plus
+	// a retransmission within the window.
+	delay, err := NewDelayTransport(NewChanTransport(8*g.NumNodes()), 2*time.Millisecond, rng.New(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := NewDropTransport(delay, 0.25, rng.New(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl, err := NewCluster(g, x0, rule, ClusterConfig{
+		TimeScale: 4 * time.Millisecond, Seed: 1, Transport: tr,
+		LockTimeout: 10 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.Run(context.Background(), 20); err != nil {
+		t.Fatal(err)
+	}
+	if cl.Exchanges() == 0 {
+		t.Fatal("no exchanges committed")
+	}
+	if cl.Aborted() == 0 {
+		t.Error("25% drop with 2ms delays produced no aborts")
+	}
+	if drift := math.Abs(sum(cl.Values()) - sum(x0)); drift > 1e-9 {
+		t.Errorf("sum drifted by %g across %d exchanges / %d aborts",
+			drift, cl.Exchanges(), cl.Aborted())
+	}
+	if drift := math.Abs(cl.Mean()); drift > 1e-9 {
+		t.Errorf("mean drifted to %g, want 0", cl.Mean())
+	}
+	// No variance assertion here: the sparse-cut swap is non-convex and
+	// legitimately re-inflates varX until the sides remix, which this
+	// hostile transport intentionally starves. The invariant under fire is
+	// the sum, checked above; convergence is TestConvergenceMatchesSimulator's
+	// job under a sane transport.
+	t.Logf("exchanges=%d aborted=%d dropped=%d var=%.4g",
+		cl.Exchanges(), cl.Aborted(), tr.Dropped(), cl.Variance())
+}
+
+func TestConvergenceMatchesSimulator(t *testing.T) {
+	g, part, x0 := dumbbellCase(t)
+	_ = part
+	const horizon = 5.0
+
+	// Simulator reference: geometric mean over 20 seeds of vanilla
+	// gossip's variance ratio at the horizon.
+	simLog := 0.0
+	const simTrials = 20
+	for s := uint64(1); s <= simTrials; s++ {
+		alg, err := gossip.NewVanilla(g, x0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		eng, err := sim.NewEngine(g, alg, sim.WithSeed(s))
+		if err != nil {
+			t.Fatal(err)
+		}
+		eng.Run(sim.Until(horizon))
+		simLog += math.Log(alg.Variance())
+	}
+	simRatio := math.Exp(simLog / simTrials)
+
+	// Runtime: geometric mean over 6 seeds at the same horizon. The large
+	// TimeScale keeps the lock windows (scheduler wake latency) small
+	// relative to the mean clock gap, so the effective exchange rate stays
+	// close to the simulator's nominal rate-1 edge clocks.
+	distLog := 0.0
+	const distTrials = 6
+	for s := uint64(1); s <= distTrials; s++ {
+		cl, err := NewCluster(g, x0, NewVanillaRule(), ClusterConfig{TimeScale: 24 * time.Millisecond, Seed: s})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := cl.Run(context.Background(), horizon); err != nil {
+			t.Fatal(err)
+		}
+		distLog += math.Log(cl.Variance())
+	}
+	distRatio := math.Exp(distLog / distTrials)
+
+	if distRatio > 2*simRatio || simRatio > 2*distRatio {
+		t.Errorf("variance ratio at t=%g: runtime %.4g vs simulator %.4g — more than 2x apart",
+			horizon, distRatio, simRatio)
+	}
+	t.Logf("t=%g: runtime ratio %.4g, simulator ratio %.4g (factor %.2f)",
+		horizon, distRatio, simRatio, distRatio/simRatio)
+}
+
+// waitGoroutines polls until the goroutine count returns to at most base,
+// tolerating the test runtime's own background goroutines.
+func waitGoroutines(t *testing.T, base int) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		runtime.GC()
+		n := runtime.NumGoroutine()
+		if n <= base {
+			return
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<16)
+			t.Fatalf("%d goroutines still alive (baseline %d):\n%s",
+				n, base, buf[:runtime.Stack(buf, true)])
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+func TestCleanShutdownOnContextCancel(t *testing.T) {
+	g, part, x0 := dumbbellCase(t)
+	rule, err := NewSparseCutRule(part, part.CutEdges()[0], 2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := runtime.NumGoroutine()
+	cl, err := NewCluster(g, x0, rule, ClusterConfig{TimeScale: 4 * time.Millisecond, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(30 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	err = cl.Run(ctx, 1e6) // nominally ~4000s of wall time; the cancel cuts it short
+	if err != context.Canceled {
+		t.Errorf("Run under cancel returned %v, want context.Canceled", err)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Errorf("cancelled Run took %v to shut down", elapsed)
+	}
+	waitGoroutines(t, base)
+	if drift := math.Abs(sum(cl.Values()) - sum(x0)); drift > 1e-9 {
+		t.Errorf("sum drifted by %g across a cancelled run", drift)
+	}
+	// The cluster is still usable after a cancelled run.
+	if err := cl.Run(context.Background(), 1); err != nil {
+		t.Errorf("Run after cancelled run: %v", err)
+	}
+	waitGoroutines(t, base)
+}
+
+func TestNoGoroutineLeakAfterRun(t *testing.T) {
+	g, _, x0 := dumbbellCase(t)
+	base := runtime.NumGoroutine()
+	cl, err := NewCluster(g, x0, NewVanillaRule(), ClusterConfig{TimeScale: 2 * time.Millisecond, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ { // repeated runs reuse nothing leaky
+		if err := cl.Run(context.Background(), 3); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitGoroutines(t, base)
+}
+
+func TestRepeatedRunsContinue(t *testing.T) {
+	g, _, _ := dumbbellCase(t)
+	// Random initial values: every committed internal exchange strictly
+	// reduces the variance, so progress does not hinge on the (slow,
+	// Poisson-rare) single cut edge.
+	x0 := gossip.UniformRandom(rng.New(9), g.NumNodes())
+	cl, err := NewCluster(g, x0, NewVanillaRule(), ClusterConfig{TimeScale: 4 * time.Millisecond, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var0 := cl.Variance()
+	if err := cl.Run(context.Background(), 8); err != nil {
+		t.Fatal(err)
+	}
+	ex1 := cl.Exchanges()
+	if ex1 == 0 {
+		t.Fatal("first run committed no exchanges")
+	}
+	if err := cl.Run(context.Background(), 8); err != nil {
+		t.Fatal(err)
+	}
+	if cl.Exchanges() <= ex1 {
+		t.Errorf("second run committed no exchanges (%d then %d)", ex1, cl.Exchanges())
+	}
+	if cl.Variance() >= var0 {
+		t.Errorf("variance %g did not decrease from %g after 16 time units", cl.Variance(), var0)
+	}
+	if drift := math.Abs(cl.Mean() - sum(x0)/float64(len(x0))); drift > 1e-9 {
+		t.Errorf("mean drifted by %g across two runs", drift)
+	}
+}
+
+func TestClusterOverTCP(t *testing.T) {
+	g, _, x0 := dumbbellCase(t)
+	tr, err := NewTCPTransport(g.NumNodes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+	cl, err := NewCluster(g, x0, NewVanillaRule(), ClusterConfig{TimeScale: 8 * time.Millisecond, Seed: 2, Transport: tr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.Run(context.Background(), 8); err != nil {
+		t.Fatal(err)
+	}
+	// The assertions target transport plumbing (delivery, framing, clean
+	// reuse of cached connections), not convergence speed: on a loaded
+	// machine the socket round-trips shrink the effective exchange rate.
+	if cl.Exchanges() == 0 {
+		t.Fatal("no exchanges committed over TCP")
+	}
+	if drift := math.Abs(cl.Mean()); drift > 1e-9 {
+		t.Errorf("mean drifted to %g over TCP", cl.Mean())
+	}
+}
+
+func TestIsolatedNodeDoesNotPanic(t *testing.T) {
+	// A graph with an isolated node: its clock must simply never fire
+	// (rate 0), not panic the process.
+	g, err := graph.NewBuilder(3).AddEdge(0, 1).Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	x0 := []float64{1, -1, 7}
+	cl, err := NewCluster(g, x0, NewVanillaRule(), ClusterConfig{TimeScale: 2 * time.Millisecond, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.Run(context.Background(), 5); err != nil {
+		t.Fatal(err)
+	}
+	if got := cl.Values()[2]; got != 7 {
+		t.Errorf("isolated node's value changed to %g", got)
+	}
+	if drift := math.Abs(sum(cl.Values()) - 7); drift > 1e-12 {
+		t.Errorf("sum drifted by %g", drift)
+	}
+}
+
+func TestRunSurvivesTransportDeath(t *testing.T) {
+	g, _, x0 := dumbbellCase(t)
+	tr := NewChanTransport(4 * g.NumNodes())
+	cl, err := NewCluster(g, x0, NewVanillaRule(), ClusterConfig{TimeScale: 4 * time.Millisecond, Seed: 2, Transport: tr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		tr.Close() // kill the transport under a running cluster
+	}()
+	start := time.Now()
+	err = cl.Run(context.Background(), 1e6) // would be hours of wall time
+	if err != ErrClosed {
+		t.Errorf("Run on a dying transport returned %v, want ErrClosed", err)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Errorf("Run took %v to notice the dead transport", elapsed)
+	}
+	// Stranded proposals are settled in-process: the sum stays exact.
+	if drift := math.Abs(sum(cl.Values()) - sum(x0)); drift > 1e-9 {
+		t.Errorf("sum drifted by %g across a transport death", drift)
+	}
+}
+
+func TestRunSurvivesInnerTransportDeathUnderDelay(t *testing.T) {
+	// Same as above, but the dying transport is hidden behind a
+	// DelayTransport, whose sends succeed asynchronously: the inner
+	// failure must still surface (on subsequent sends) so Run's drain can
+	// bail instead of retransmitting forever.
+	g, _, x0 := dumbbellCase(t)
+	inner := NewChanTransport(4 * g.NumNodes())
+	tr, err := NewDelayTransport(inner, time.Millisecond, rng.New(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl, err := NewCluster(g, x0, NewVanillaRule(), ClusterConfig{TimeScale: 4 * time.Millisecond, Seed: 2, Transport: tr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		inner.Close() // kill only the inner transport; the delay layer stays up
+	}()
+	start := time.Now()
+	err = cl.Run(context.Background(), 1e6)
+	if err != ErrClosed {
+		t.Errorf("Run on a dying inner transport returned %v, want ErrClosed", err)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Errorf("Run took %v to notice the dead inner transport", elapsed)
+	}
+	if drift := math.Abs(sum(cl.Values()) - sum(x0)); drift > 1e-9 {
+		t.Errorf("sum drifted by %g across an inner transport death", drift)
+	}
+}
+
+func TestSparseCutRuleSemantics(t *testing.T) {
+	g, part, _ := dumbbellCase(t)
+	ec := part.CutEdges()[0]
+	const w = 3.0
+	rule, err := NewSparseCutRule(part, ec, 3, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Internal edges average regardless of the epoch counter.
+	var internal graph.EdgeID = -1
+	for id := 0; id < g.NumEdges(); id++ {
+		if !part.IsCutEdge(graph.EdgeID(id)) {
+			internal = graph.EdgeID(id)
+			break
+		}
+	}
+	u := g.Edge(internal).U
+	if d := rule.Delta(internal, u, 1, 5); d != 2 {
+		t.Errorf("internal edge delta %g, want 2 (averaging)", d)
+	}
+	// The designated edge fires on every 3rd committed tick.
+	want := []float64{0, 0, w * (5.0 - 1.0), 0, 0, w * (5.0 - 1.0)}
+	for i, exp := range want {
+		if d := rule.Delta(ec, g.Edge(ec).U, 1, 5); d != exp {
+			t.Errorf("ec tick %d: delta %g, want %g", i+1, d, exp)
+		}
+	}
+	if rule.Swaps() != 2 {
+		t.Errorf("Swaps() = %d, want 2", rule.Swaps())
+	}
+	if rule.EpochTicks() != 3 || rule.Weight() != w {
+		t.Errorf("accessors: K=%d w=%g", rule.EpochTicks(), rule.Weight())
+	}
+}
+
+func TestSparseCutRuleMultiCutEdges(t *testing.T) {
+	g, part, err := graph.Dumbbell(4, 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ec := part.CutEdges()[0]
+	other := part.CutEdges()[1]
+	rule, err := NewSparseCutRule(part, ec, 1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := rule.Delta(other, g.Edge(other).U, 1, 5); d != 0 {
+		t.Errorf("non-designated cut edge delta %g, want 0", d)
+	}
+	if d := rule.Delta(ec, g.Edge(ec).U, 1, 5); d != 8 {
+		t.Errorf("designated edge with K=1 delta %g, want 8", d)
+	}
+}
+
+func TestSparseCutRuleValidation(t *testing.T) {
+	g, part, _ := dumbbellCase(t)
+	var internal graph.EdgeID
+	for id := 0; id < g.NumEdges(); id++ {
+		if !part.IsCutEdge(graph.EdgeID(id)) {
+			internal = graph.EdgeID(id)
+			break
+		}
+	}
+	ec := part.CutEdges()[0]
+	cases := []struct {
+		name   string
+		part   *graph.Partition
+		ec     graph.EdgeID
+		k      int64
+		weight float64
+	}{
+		{"nil partition", nil, ec, 2, 1},
+		{"non-cut designated edge", part, internal, 2, 1},
+		{"out-of-range edge", part, graph.EdgeID(g.NumEdges()), 2, 1},
+		{"zero epoch", part, ec, 0, 1},
+		{"zero weight", part, ec, 2, 0},
+		{"negative weight", part, ec, 2, -3},
+		{"NaN weight", part, ec, 2, math.NaN()},
+	}
+	for _, c := range cases {
+		if _, err := NewSparseCutRule(c.part, c.ec, c.k, c.weight); err == nil {
+			t.Errorf("%s: no error", c.name)
+		}
+	}
+}
+
+func TestVanillaRuleDelta(t *testing.T) {
+	r := NewVanillaRule()
+	if d := r.Delta(0, 0, 2, 6); d != 2 {
+		t.Errorf("delta %g, want 2", d)
+	}
+	if r.Name() == "" {
+		t.Error("empty rule name")
+	}
+}
+
+func TestClusterValidation(t *testing.T) {
+	g, _, x0 := dumbbellCase(t)
+	edgeless, err := graph.NewBuilder(2).Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewCluster(nil, nil, NewVanillaRule(), ClusterConfig{}); err == nil {
+		t.Error("nil graph: no error")
+	}
+	if _, err := NewCluster(edgeless, []float64{1, 2}, NewVanillaRule(), ClusterConfig{}); err == nil {
+		t.Error("edgeless graph: no error")
+	}
+	if _, err := NewCluster(g, x0[:3], NewVanillaRule(), ClusterConfig{}); err == nil {
+		t.Error("short x0: no error")
+	}
+	if _, err := NewCluster(g, x0, nil, ClusterConfig{}); err == nil {
+		t.Error("nil rule: no error")
+	}
+	if _, err := NewCluster(g, x0, NewVanillaRule(), ClusterConfig{TimeScale: -time.Second}); err == nil {
+		t.Error("negative time scale: no error")
+	}
+	cl, err := NewCluster(g, x0, NewVanillaRule(), ClusterConfig{TimeScale: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range []float64{0, -1, math.NaN(), math.Inf(1)} {
+		if err := cl.Run(context.Background(), d); err == nil {
+			t.Errorf("duration %v: no error", d)
+		}
+	}
+	if got := cl.Values(); len(got) != g.NumNodes() {
+		t.Errorf("Values() length %d, want %d", len(got), g.NumNodes())
+	}
+	if v := cl.Variance(); math.Abs(v-1) > 1e-12 {
+		t.Errorf("pre-run variance %g, want 1", v)
+	}
+}

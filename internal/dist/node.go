@@ -1,0 +1,292 @@
+package dist
+
+import (
+	"sync"
+	"time"
+
+	"sparsecut/internal/graph"
+	"sparsecut/internal/rng"
+)
+
+// node is one actor of the runtime. It owns its value outright — no other
+// goroutine ever reads or writes it while the cluster runs — and
+// communicates exclusively through the transport.
+//
+// # Exchange protocol (lock / propose / commit)
+//
+// A node initiates an exchange when its private Poisson clock fires while
+// it is unlocked:
+//
+//	initiator                         responder
+//	---------                         ---------
+//	lock self
+//	LOCK(seq, edge, x)  ───────────▶  busy or draining? ──▶ NACK(seq)
+//	                                  else: lock self,
+//	                                  d := rule.Delta(edge, x, y)
+//	              ◀───────────────    PROPOSE(seq, d)   (held, retransmitted)
+//	x += d (once), unlock
+//	COMMIT(seq)         ───────────▶  y -= d, unlock
+//
+// Abort paths leave no state change anywhere: a busy responder NACKs the
+// LOCK; a lock timeout releases the initiator; and a PROPOSE that arrives
+// after its initiator already timed out is answered with a NACK, on which
+// the responder rolls back its (uncommitted) proposal and unlocks. The
+// initiator therefore only ever applies a delta for its *current*
+// exchange, so a committed exchange always uses both endpoints' current
+// values — there is no stale-value commit even under arbitrary delays.
+//
+// Loss paths: a lost LOCK times out into a clean abort; a lost PROPOSE or
+// COMMIT is covered by the responder retransmitting the proposal on a
+// lease timer until it is answered — the initiator deduplicates by a
+// per-responder seq watermark and re-answers COMMIT for proposals it
+// already applied. Because the initiator applies +d exactly once and the
+// responder applies the exact negation exactly once (it is locked from
+// proposal to resolution, so d stays valid), a committed exchange changes
+// the value sum only by the two float roundings of x±d (~1 ulp each) no
+// matter what the transport drops, delays or reorders; the dist tests
+// bound the accumulated drift below 1e-9. The only transient is between the initiator's apply
+// and the responder's: the drain phase at the end of every run resolves
+// all held proposals before the run returns.
+//
+// An exchange whose proposal lost the race against the initiator's
+// timeout is counted as aborted by the initiator and never committed by
+// the responder; Exchanges counts responder-side commits.
+//
+// # Timing model
+//
+// Node u initiates at Poisson rate deg(u)/2 (in simulated time units,
+// scaled to wall time by ClusterConfig.TimeScale) and picks a uniformly
+// random incident edge. Edge {u,v} is then initiated at total rate
+// deg(u)/2·1/deg(u) + deg(v)/2·1/deg(v) = 1 — exactly the rate-1
+// independent edge clocks of internal/sim, so simulator horizons and
+// runtime durations are directly comparable.
+type node struct {
+	id    int
+	cl    *Cluster
+	r     *rng.RNG
+	inbox <-chan Message
+	rate  float64 // initiation rate in simulated-time units: deg/2
+
+	x   float64
+	seq uint64
+	// await is the outstanding initiation, if any; pend the held
+	// (uncommitted) proposal awaiting its commit or abort, if any. The
+	// node is locked while either is non-nil (it NACKs incoming LOCKs and
+	// skips its own clock fires).
+	await *awaitState
+	pend  *pendState
+	// lastApplied[r] is the highest seq whose proposal from responder r
+	// has been applied, so retransmitted duplicates are answered with a
+	// fresh COMMIT without reapplying. A per-responder watermark
+	// suffices: a responder holds its lock until its proposal is
+	// resolved, so it proposes to this node serially and a proposal with
+	// seq at or below the watermark is always a duplicate of one already
+	// applied. Memory is O(degree) per node.
+	lastApplied map[int]uint64
+	nextInit    time.Time
+}
+
+type awaitState struct {
+	seq uint64
+	// peer is the responder this initiation locked toward. Replies are
+	// matched on (peer, seq), not seq alone: seq counters are per-node
+	// namespaces, so a late duplicate NACK from an old exchange (carrying
+	// the *other* node's seq) could otherwise collide with this node's
+	// own counter and abort an unrelated healthy exchange.
+	peer     int
+	deadline time.Time
+}
+
+type pendState struct {
+	msg    Message // the PROPOSE to retransmit; msg.X is the held delta
+	resend time.Time
+}
+
+func newNode(id int, cl *Cluster, r *rng.RNG, inbox <-chan Message, x0 float64) *node {
+	deg := cl.g.Degree(graph.NodeID(id))
+	return &node{
+		id:          id,
+		cl:          cl,
+		r:           r,
+		inbox:       inbox,
+		rate:        float64(deg) / 2,
+		x:           x0,
+		lastApplied: make(map[int]uint64),
+	}
+}
+
+// scheduleNext draws the next clock fire: an Exp(rate) gap in simulated
+// time, scaled to wall time. An isolated node has no edges to tick and its
+// clock never fires (its value simply never changes, as in the simulator).
+func (n *node) scheduleNext(now time.Time) {
+	if n.rate == 0 {
+		return
+	}
+	gap := n.r.ExpFloat64(n.rate) * float64(n.cl.cfg.TimeScale)
+	n.nextInit = now.Add(time.Duration(gap))
+}
+
+// loop is the actor body. drainC closes when the run's horizon is reached:
+// the node stops initiating and proposing but keeps serving (answering
+// late proposals, re-committing duplicates, retransmitting its own held
+// proposal) so every exchange resolves. stopC closes once the cluster has
+// observed global quiescence; the node then exits.
+func (n *node) loop(drainC, stopC <-chan struct{}, drainWG *sync.WaitGroup) {
+	defer n.cl.wg.Done()
+	timer := time.NewTimer(time.Hour)
+	defer timer.Stop()
+	draining := false
+	n.scheduleNext(time.Now())
+	for {
+		var timerC <-chan time.Time
+		if next, ok := n.nextDeadline(draining); ok {
+			timer.Reset(time.Until(next))
+			timerC = timer.C
+		}
+		select {
+		case <-stopC:
+			return
+		case <-drainC:
+			draining = true
+			drainC = nil
+			drainWG.Done()
+		case m := <-n.inbox:
+			n.handle(m, draining)
+		case <-timerC:
+			n.onTimer(draining)
+		}
+	}
+}
+
+// nextDeadline returns the earliest pending wall-clock deadline.
+func (n *node) nextDeadline(draining bool) (time.Time, bool) {
+	var t time.Time
+	ok := false
+	add := func(d time.Time) {
+		if !ok || d.Before(t) {
+			t, ok = d, true
+		}
+	}
+	if !draining && n.rate > 0 {
+		add(n.nextInit)
+	}
+	if n.await != nil {
+		add(n.await.deadline)
+	}
+	if n.pend != nil {
+		add(n.pend.resend)
+	}
+	return t, ok
+}
+
+// onTimer services whichever deadlines have passed.
+func (n *node) onTimer(draining bool) {
+	now := time.Now()
+	if n.await != nil && !now.Before(n.await.deadline) {
+		// The LOCK or its PROPOSE was lost (or the peer is saturated):
+		// give up the initiation. A proposal that arrives after this point
+		// is refused, so the responder rolls back and nothing commits.
+		n.await = nil
+		n.cl.awaiting.Add(-1)
+		n.cl.aborted.Add(1)
+	}
+	if n.pend != nil && !now.Before(n.pend.resend) {
+		n.send(n.pend.msg)
+		n.pend.resend = now.Add(n.cl.resendEvery)
+	}
+	if !draining && n.rate > 0 && !now.Before(n.nextInit) {
+		if n.await == nil && n.pend == nil {
+			n.initiate(now)
+		}
+		// A fire while locked is simply skipped, like a simulator tick on
+		// a busy pair; the clock always keeps running.
+		n.scheduleNext(now)
+	}
+}
+
+// initiate starts an exchange over a uniformly random incident edge.
+func (n *node) initiate(now time.Time) {
+	adj := n.cl.g.Neighbors(graph.NodeID(n.id))
+	he := adj[n.r.Intn(len(adj))]
+	n.seq++
+	n.await = &awaitState{seq: n.seq, peer: int(he.Peer), deadline: now.Add(n.cl.lockTimeout)}
+	n.cl.awaiting.Add(1)
+	n.send(Message{Kind: MsgLock, From: n.id, To: int(he.Peer), Seq: n.seq, Edge: he.Edge, X: n.x})
+}
+
+// handle processes one incoming message.
+func (n *node) handle(m Message, draining bool) {
+	if m.Epoch != n.cl.epoch {
+		// A leftover from a previous Run, stranded in the mailbox across
+		// the run boundary (see Message.Epoch). Every previous-run
+		// exchange is fully resolved by the time a run returns, so the
+		// message is stale by construction.
+		return
+	}
+	switch m.Kind {
+	case MsgLock:
+		if n.await != nil || n.pend != nil || draining {
+			n.send(Message{Kind: MsgNack, From: n.id, To: m.From, Seq: m.Seq})
+			return
+		}
+		// Propose: compute the initiator's delta and hold it, locked,
+		// until the initiator commits or aborts. Nothing is applied yet,
+		// so a NACK rolls back to exactly the pre-LOCK state. Note the
+		// rule's tick (including the sparse-cut epoch counter) happens
+		// here; a subsequently NACKed proposal has still consumed a tick,
+		// like a simulator tick whose update is the identity.
+		d := n.cl.rule.Delta(m.Edge, graph.NodeID(m.From), m.X, n.x)
+		prop := Message{Kind: MsgPropose, From: n.id, To: m.From, Seq: m.Seq, Edge: m.Edge, X: d}
+		n.pend = &pendState{msg: prop, resend: time.Now().Add(n.cl.resendEvery)}
+		n.cl.pending.Add(1)
+		n.send(prop)
+
+	case MsgPropose:
+		switch {
+		case n.await != nil && n.await.seq == m.Seq && n.await.peer == m.From:
+			// Our current exchange: apply our half and commit.
+			n.lastApplied[m.From] = m.Seq
+			n.x += m.X
+			n.await = nil
+			n.cl.awaiting.Add(-1)
+			n.send(Message{Kind: MsgCommit, From: n.id, To: m.From, Seq: m.Seq})
+		case m.Seq <= n.lastApplied[m.From]:
+			// Duplicate of a proposal we already applied (our COMMIT was
+			// lost): re-commit without reapplying.
+			n.send(Message{Kind: MsgCommit, From: n.id, To: m.From, Seq: m.Seq})
+		default:
+			// A proposal for an exchange we already gave up on: refuse,
+			// so the responder rolls back. This is what guarantees a
+			// committed exchange never uses a stale initiator value.
+			n.send(Message{Kind: MsgNack, From: n.id, To: m.From, Seq: m.Seq})
+		}
+
+	case MsgCommit:
+		if n.pend != nil && n.pend.msg.Seq == m.Seq && n.pend.msg.To == m.From {
+			n.x -= n.pend.msg.X
+			n.pend = nil
+			n.cl.pending.Add(-1)
+			n.cl.exchanges.Add(1)
+		}
+
+	case MsgNack:
+		if n.await != nil && n.await.seq == m.Seq && n.await.peer == m.From {
+			n.await = nil
+			n.cl.awaiting.Add(-1)
+			n.cl.aborted.Add(1)
+		}
+		if n.pend != nil && n.pend.msg.Seq == m.Seq && n.pend.msg.To == m.From {
+			// Our held proposal was refused: roll back (nothing was
+			// applied) and unlock.
+			n.pend = nil
+			n.cl.pending.Add(-1)
+		}
+	}
+}
+
+func (n *node) send(m Message) {
+	m.Epoch = n.cl.epoch
+	if err := n.cl.tr.Send(m); err != nil {
+		n.cl.noteSendErr(err)
+	}
+}

@@ -1,0 +1,232 @@
+package dist
+
+import (
+	"encoding/gob"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+)
+
+// TCPTransport carries protocol messages over loopback TCP: one listener
+// per address, gob-encoded Messages on persistent connections. It exists so
+// the runtime can be exercised over a real socket stack (examples/cluster
+// -tcp) rather than only over in-process channels; it is not a
+// wide-area-network transport.
+type TCPTransport struct {
+	listeners []net.Listener
+	ports     []int
+	boxes     []chan Message
+
+	mu       sync.Mutex
+	outbound map[int]*tcpConn      // dial-side connections, by destination
+	inbound  map[net.Conn]struct{} // accept-side connections, for Close
+	closed   bool
+	closedC  chan struct{}
+	wg       sync.WaitGroup
+
+	congested atomic.Int64
+}
+
+type tcpConn struct {
+	mu  sync.Mutex
+	c   net.Conn
+	enc *gob.Encoder
+}
+
+var _ Transport = (*TCPTransport)(nil)
+
+// NewTCPTransport opens addrs loopback listeners on ephemeral ports, one
+// per address 0..addrs-1, and returns a transport routing Send(m) to the
+// listener of m.To over a cached connection.
+func NewTCPTransport(addrs int) (*TCPTransport, error) {
+	if addrs <= 0 {
+		return nil, fmt.Errorf("dist: TCP transport needs a positive address count, got %d", addrs)
+	}
+	t := &TCPTransport{
+		listeners: make([]net.Listener, addrs),
+		ports:     make([]int, addrs),
+		boxes:     make([]chan Message, addrs),
+		outbound:  make(map[int]*tcpConn),
+		inbound:   make(map[net.Conn]struct{}),
+		closedC:   make(chan struct{}),
+	}
+	for i := 0; i < addrs; i++ {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			_ = t.Close()
+			return nil, fmt.Errorf("dist: listening for address %d: %w", i, err)
+		}
+		t.listeners[i] = ln
+		t.ports[i] = ln.Addr().(*net.TCPAddr).Port
+		t.boxes[i] = make(chan Message, 256)
+		t.wg.Add(1)
+		go t.accept(i, ln)
+	}
+	return t, nil
+}
+
+func (t *TCPTransport) accept(addr int, ln net.Listener) {
+	defer t.wg.Done()
+	for {
+		c, err := ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		t.mu.Lock()
+		if t.closed {
+			t.mu.Unlock()
+			_ = c.Close()
+			return
+		}
+		t.inbound[c] = struct{}{}
+		t.mu.Unlock()
+		t.wg.Add(1)
+		go t.serve(addr, c)
+	}
+}
+
+func (t *TCPTransport) serve(addr int, c net.Conn) {
+	defer t.wg.Done()
+	defer func() {
+		t.mu.Lock()
+		delete(t.inbound, c)
+		t.mu.Unlock()
+		_ = c.Close()
+	}()
+	dec := gob.NewDecoder(c)
+	for {
+		var m Message
+		if err := dec.Decode(&m); err != nil {
+			return
+		}
+		select {
+		case <-t.closedC:
+			return
+		default:
+		}
+		select {
+		case t.boxes[addr] <- m:
+		default:
+			// Full mailbox: congestion loss, like ChanTransport — the
+			// reader must not stall the whole connection behind one
+			// saturated destination.
+			t.congested.Add(1)
+		}
+	}
+}
+
+// Congested returns the number of messages dropped because the
+// destination mailbox was full.
+func (t *TCPTransport) Congested() int64 { return t.congested.Load() }
+
+// Port returns the loopback port the given address listens on.
+func (t *TCPTransport) Port(addr int) (int, error) {
+	if addr < 0 || addr >= len(t.ports) {
+		return 0, fmt.Errorf("dist: address %d outside [0,%d)", addr, len(t.ports))
+	}
+	return t.ports[addr], nil
+}
+
+func (t *TCPTransport) conn(to int) (*tcpConn, error) {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return nil, ErrClosed
+	}
+	if to < 0 || to >= len(t.ports) {
+		t.mu.Unlock()
+		return nil, fmt.Errorf("dist: address %d outside [0,%d)", to, len(t.ports))
+	}
+	if oc, ok := t.outbound[to]; ok {
+		t.mu.Unlock()
+		return oc, nil
+	}
+	t.mu.Unlock()
+
+	// Dial outside the lock: holding it would serialize every Send in the
+	// cluster behind each connection setup.
+	c, err := net.Dial("tcp", fmt.Sprintf("127.0.0.1:%d", t.ports[to]))
+	if err != nil {
+		return nil, fmt.Errorf("dist: dialing address %d: %w", to, err)
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.closed {
+		_ = c.Close()
+		return nil, ErrClosed
+	}
+	if oc, ok := t.outbound[to]; ok {
+		// Lost the race against a concurrent dial to the same address.
+		_ = c.Close()
+		return oc, nil
+	}
+	oc := &tcpConn{c: c, enc: gob.NewEncoder(c)}
+	t.outbound[to] = oc
+	return oc, nil
+}
+
+// Send implements Transport.
+func (t *TCPTransport) Send(m Message) error {
+	oc, err := t.conn(m.To)
+	if err != nil {
+		return err
+	}
+	oc.mu.Lock()
+	err = oc.enc.Encode(m)
+	oc.mu.Unlock()
+	if err != nil {
+		// Drop the broken connection so a later Send re-dials.
+		t.mu.Lock()
+		if t.outbound[m.To] == oc {
+			delete(t.outbound, m.To)
+		}
+		t.mu.Unlock()
+		_ = oc.c.Close()
+		if t.isClosed() {
+			return ErrClosed
+		}
+		return fmt.Errorf("dist: sending to address %d: %w", m.To, err)
+	}
+	return nil
+}
+
+// Recv implements Transport.
+func (t *TCPTransport) Recv(addr int) (<-chan Message, error) {
+	if addr < 0 || addr >= len(t.boxes) {
+		return nil, fmt.Errorf("dist: address %d outside [0,%d)", addr, len(t.boxes))
+	}
+	return t.boxes[addr], nil
+}
+
+func (t *TCPTransport) isClosed() bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.closed
+}
+
+// Close implements Transport: it closes all listeners and connections and
+// waits for the reader goroutines to exit.
+func (t *TCPTransport) Close() error {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return nil
+	}
+	t.closed = true
+	close(t.closedC)
+	for _, ln := range t.listeners {
+		if ln != nil {
+			_ = ln.Close()
+		}
+	}
+	for _, oc := range t.outbound {
+		_ = oc.c.Close()
+	}
+	for c := range t.inbound {
+		_ = c.Close()
+	}
+	t.mu.Unlock()
+	t.wg.Wait()
+	return nil
+}

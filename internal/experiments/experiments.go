@@ -44,7 +44,7 @@ func newOutcome() Outcome { return Outcome{Metrics: map[string]float64{}} }
 
 // Experiment is one entry of the evaluation suite.
 type Experiment struct {
-	// ID is the experiment identifier ("E1".."E12").
+	// ID is the experiment identifier ("E1".."E14").
 	ID string
 	// Title is a one-line description for listings.
 	Title string

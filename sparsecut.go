@@ -28,10 +28,12 @@ package sparsecut
 import (
 	"fmt"
 	"io"
+	"time"
 
 	"sparsecut/internal/avgtime"
 	"sparsecut/internal/core"
 	"sparsecut/internal/cut"
+	"sparsecut/internal/dist"
 	"sparsecut/internal/experiments"
 	"sparsecut/internal/gossip"
 	"sparsecut/internal/graph"
@@ -96,6 +98,15 @@ const (
 
 // AlgorithmAOption configures NewAlgorithmA.
 type AlgorithmAOption = core.Option
+
+// ExactSwapWeight returns w* = n1·n2/(n1+n2) for a partition — the swap
+// coefficient that exactly annihilates both side means (WeightExact's
+// value), for callers that need the number itself, e.g. to hand to
+// NewSparseCutExchange.
+func ExactSwapWeight(p *Partition) float64 { return core.ExactWeight(p) }
+
+// PaperSwapWeight returns the paper's literal coefficient min(|V1|, |V2|).
+func PaperSwapWeight(p *Partition) float64 { return core.PaperWeight(p) }
 
 // NewDumbbell returns two cliques K_n1, K_n2 joined by cutEdges edges — the
 // paper's canonical sparse-cut graph — together with the planted partition.
@@ -233,6 +244,74 @@ func MeasureAveragingTime(g *Graph, factory Factory, cfg TavConfig) (TavResult, 
 	}, cfg)
 }
 
+// Decentralized message-passing runtime, re-exported from internal/dist:
+// the same local rules the simulator applies centrally, run as one
+// goroutine per node exchanging messages over an explicit, optionally
+// lossy or slow transport.
+type (
+	// Cluster is the goroutine-per-node runtime; construct with NewCluster
+	// and drive with Run.
+	Cluster = dist.Cluster
+	// ClusterConfig configures NewCluster (time scale, seed, transport).
+	ClusterConfig = dist.ClusterConfig
+	// Transport carries the runtime's protocol messages.
+	Transport = dist.Transport
+	// ExchangeRule is the local update a committed pairwise exchange
+	// applies — the runtime counterpart of Algorithm.
+	ExchangeRule = dist.Rule
+	// TCPTransport carries protocol messages over loopback TCP sockets
+	// (it additionally exposes Port).
+	TCPTransport = dist.TCPTransport
+)
+
+// NewCluster builds the decentralized runtime for rule on g with initial
+// values x0. One simulated time unit lasts cfg.TimeScale of wall-clock
+// time, so Cluster.Run(ctx, t) is directly comparable to Simulate(g, alg,
+// t, seed).
+func NewCluster(g *Graph, x0 []float64, rule ExchangeRule, cfg ClusterConfig) (*Cluster, error) {
+	return dist.NewCluster(g, x0, rule, cfg)
+}
+
+// NewChanTransport returns the in-memory transport (one buffered mailbox
+// per node, buf messages each).
+func NewChanTransport(buf int) Transport { return dist.NewChanTransport(buf) }
+
+// NewTCPTransport returns a transport with one loopback TCP listener per
+// node address in [0, addrs).
+func NewTCPTransport(addrs int) (*TCPTransport, error) { return dist.NewTCPTransport(addrs) }
+
+// NewDropTransport wraps inner with i.i.d. Bernoulli message loss at the
+// given rate in [0, 1). The drop decisions are drawn from a private
+// generator seeded with seed; the same seed reproduces the same decision
+// sequence, though which concrete messages that drops still depends on
+// the goroutine scheduling of the Send calls.
+func NewDropTransport(inner Transport, dropRate float64, seed uint64) (Transport, error) {
+	return dist.NewDropTransport(inner, dropRate, rng.New(seed))
+}
+
+// NewDelayTransport wraps inner with independent uniform per-message
+// latency in [0, maxDelay), sampled from a private generator seeded with
+// seed (same caveat as NewDropTransport). Delayed messages may reorder;
+// the exchange protocol tolerates both.
+func NewDelayTransport(inner Transport, maxDelay time.Duration, seed uint64) (Transport, error) {
+	return dist.NewDelayTransport(inner, maxDelay, rng.New(seed))
+}
+
+// NewAveragingExchange returns the vanilla pairwise-averaging exchange
+// rule: a committed exchange moves both endpoints to their mean.
+func NewAveragingExchange() ExchangeRule { return dist.NewVanillaRule() }
+
+// NewSparseCutExchange returns Algorithm A as an exchange rule: vanilla
+// averaging inside the sides, no update on non-designated cut edges, and
+// the non-convex swap at every epochTicks-th exchange proposed over
+// cutEdge (the epoch counter advances when a responder computes the
+// update, so under message loss a proposal that later aborts has still
+// consumed a tick). ExactSwapWeight(part) is the usual coefficient;
+// PaperSwapWeight(part) is the paper's literal choice.
+func NewSparseCutExchange(part *Partition, cutEdge EdgeID, epochTicks int64, weight float64) (ExchangeRule, error) {
+	return dist.NewSparseCutRule(part, cutEdge, epochTicks, weight)
+}
+
 // Experiment re-exports the evaluation-suite entry type.
 type Experiment = experiments.Experiment
 
@@ -240,7 +319,7 @@ type Experiment = experiments.Experiment
 // for the mapping to paper claims).
 func Experiments() []Experiment { return experiments.All() }
 
-// RunExperiment executes one experiment by ID ("E1".."E12"), writing its
+// RunExperiment executes one experiment by ID ("E1".."E14"), writing its
 // table or CSV series to w. Quick mode shrinks sizes for CI-grade runs.
 func RunExperiment(w io.Writer, id string, quick bool, seed uint64) (map[string]float64, error) {
 	e, ok := experiments.ByID(id)

@@ -2,9 +2,11 @@ package sparsecut
 
 import (
 	"bytes"
+	"context"
 	"math"
 	"strings"
 	"testing"
+	"time"
 )
 
 func TestQuickstartFlow(t *testing.T) {
@@ -218,5 +220,59 @@ func TestWeightRuleReexports(t *testing.T) {
 	}
 	if b.Weight() != 2.5 || b.EpochTicks() != 3 {
 		t.Errorf("custom config not applied: %v, %v", b.Weight(), b.EpochTicks())
+	}
+}
+
+func TestDecentralizedRuntimeFacade(t *testing.T) {
+	g, part, err := NewDumbbell(6, 6, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x0 := WorstCaseInit(part)
+	rule, err := NewSparseCutExchange(part, part.CutEdges()[0], 2, ExactSwapWeight(part))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := NewDropTransport(NewChanTransport(4*g.NumNodes()), 0.1, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl, err := NewCluster(g, x0, rule, ClusterConfig{
+		TimeScale: 4 * time.Millisecond,
+		Seed:      1,
+		Transport: tr,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.Run(context.Background(), 20); err != nil {
+		t.Fatal(err)
+	}
+	if cl.Exchanges() == 0 {
+		t.Fatal("no exchanges committed")
+	}
+	if math.Abs(cl.Mean()) > 1e-9 {
+		t.Errorf("mean drifted to %v", cl.Mean())
+	}
+
+	// The vanilla exchange rule and the delay transport compose the same way.
+	vtr, err := NewDelayTransport(NewChanTransport(4*g.NumNodes()), time.Millisecond, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vcl, err := NewCluster(g, x0, NewAveragingExchange(), ClusterConfig{
+		TimeScale:   4 * time.Millisecond,
+		Seed:        2,
+		Transport:   vtr,
+		LockTimeout: 8 * time.Millisecond, // must exceed the delay round trip
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := vcl.Run(context.Background(), 10); err != nil {
+		t.Fatal(err)
+	}
+	if vcl.Exchanges() == 0 {
+		t.Fatal("no exchanges committed with the averaging rule")
 	}
 }
