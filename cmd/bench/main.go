@@ -1,0 +1,258 @@
+// Command bench runs the repository's performance suite — micro-benchmarks
+// of the simulation hot paths plus the E1–E14 experiments — and emits a
+// machine-readable JSON report (ns/event, events/sec, allocations,
+// per-experiment wall time). It exists so every PR can record a comparable
+// perf baseline: see BENCH_PR2.json for the first one.
+//
+// Usage:
+//
+//	go run ./cmd/bench -quick -out bench.json
+//
+// -quick runs the experiments in their CI-sized quick mode; without it the
+// full-size experiment tables are timed (minutes, not seconds).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"sparsecut/internal/avgtime"
+	"sparsecut/internal/experiments"
+	"sparsecut/internal/gossip"
+	"sparsecut/internal/graph"
+	"sparsecut/internal/rng"
+	"sparsecut/internal/sim"
+)
+
+// Report is the emitted JSON document.
+type Report struct {
+	Schema      string       `json:"schema"`
+	GeneratedAt string       `json:"generated_at"`
+	GoVersion   string       `json:"go_version"`
+	GOOS        string       `json:"goos"`
+	GOARCH      string       `json:"goarch"`
+	NumCPU      int          `json:"num_cpu"`
+	Quick       bool         `json:"quick"`
+	Micro       []MicroBench `json:"micro"`
+	Experiments []ExpTiming  `json:"experiments"`
+}
+
+// MicroBench is one testing.Benchmark result, normalised per event.
+type MicroBench struct {
+	Name         string  `json:"name"`
+	NsPerEvent   float64 `json:"ns_per_event"`
+	EventsPerSec float64 `json:"events_per_sec"`
+	BytesPerOp   int64   `json:"bytes_per_op"`
+	AllocsPerOp  int64   `json:"allocs_per_op"`
+}
+
+// ExpTiming is one experiment's wall-clock cost.
+type ExpTiming struct {
+	ID      string  `json:"id"`
+	Seconds float64 `json:"seconds"`
+	Metrics int     `json:"metrics"`
+}
+
+func mustDumbbell() (*graph.Graph, *graph.Partition, []float64) {
+	g, part, err := graph.Dumbbell(64, 64, 1)
+	if err != nil {
+		panic(err)
+	}
+	return g, part, gossip.CutIndicator(part)
+}
+
+func benchResult(name string, fn func(b *testing.B)) MicroBench {
+	res := testing.Benchmark(fn)
+	ns := float64(res.T.Nanoseconds()) / float64(res.N)
+	return MicroBench{
+		Name:         name,
+		NsPerEvent:   ns,
+		EventsPerSec: 1e9 / ns,
+		BytesPerOp:   res.AllocedBytesPerOp(),
+		AllocsPerOp:  res.AllocsPerOp(),
+	}
+}
+
+func microBenches() []MicroBench {
+	newEngine := func(b *testing.B, alg gossip.Algorithm, opts ...sim.Option) *sim.Engine {
+		g, _, _ := mustDumbbell()
+		eng, err := sim.NewEngine(g, alg, opts...)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return eng
+	}
+	vanilla := func(b *testing.B) gossip.Algorithm {
+		g, _, x0 := mustDumbbell()
+		alg, err := gossip.NewVanilla(g, x0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return alg
+	}
+	return []MicroBench{
+		benchResult("simulator/vanilla-fused", func(b *testing.B) {
+			b.ReportAllocs()
+			eng := newEngine(b, vanilla(b))
+			b.ResetTimer()
+			eng.RunEvents(int64(b.N))
+		}),
+		benchResult("simulator/vanilla-legacy", func(b *testing.B) {
+			b.ReportAllocs()
+			eng := newEngine(b, vanilla(b))
+			b.ResetTimer()
+			eng.Run(sim.MaxEvents(int64(b.N)))
+		}),
+		benchResult("simulator/vanilla-tracked", func(b *testing.B) {
+			b.ReportAllocs()
+			g, _, x0 := mustDumbbell()
+			alg, err := gossip.NewVanilla(g, x0)
+			if err != nil {
+				b.Fatal(err)
+			}
+			eng, err := sim.NewEngine(g, alg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			if _, ok := eng.RunTracked(sim.Tracked{StopLevel: -1, MaxTime: float64(b.N) / float64(g.NumEdges())}); !ok {
+				b.Fatal("tracked fast path unavailable")
+			}
+		}),
+		benchResult("simulator/per-edge-heap", func(b *testing.B) {
+			b.ReportAllocs()
+			eng := newEngine(b, vanilla(b), sim.WithScheduler(sim.PerEdgeClocks))
+			b.ResetTimer()
+			eng.RunEvents(int64(b.N))
+		}),
+		benchResult("simulator/heterogeneous-alias", func(b *testing.B) {
+			b.ReportAllocs()
+			g, _, x0 := mustDumbbell()
+			alg, err := gossip.NewVanilla(g, x0)
+			if err != nil {
+				b.Fatal(err)
+			}
+			r := rng.New(1)
+			rates := make([]float64, g.NumEdges())
+			for i := range rates {
+				rates[i] = 0.5 + 1.5*r.Float64()
+			}
+			eng, err := sim.NewEngine(g, alg, sim.WithRates(rates))
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			eng.RunEvents(int64(b.N))
+		}),
+		benchResult("rng/exp-unit", func(b *testing.B) {
+			r := rng.New(1)
+			var sink float64
+			for i := 0; i < b.N; i++ {
+				sink += r.ExpUnit()
+			}
+			_ = sink
+		}),
+		benchResult("rng/fill-exp-batch", func(b *testing.B) {
+			r := rng.New(1)
+			dst := make([]float64, 1024)
+			b.ResetTimer()
+			for i := 0; i < b.N; i += len(dst) {
+				r.FillExp(dst, 1)
+			}
+		}),
+	}
+}
+
+// avgtimeBench times whole estimator runs but normalises by the actual
+// simulated event count, so its ns_per_event is comparable with the other
+// rows (it includes the per-trial setup and tracked-loop overhead).
+func avgtimeBench() (MicroBench, error) {
+	g, part, err := graph.Dumbbell(64, 64, 1)
+	if err != nil {
+		return MicroBench{}, err
+	}
+	x0 := gossip.CutIndicator(part)
+	start := time.Now()
+	res, err := avgtime.Estimate(g, avgtime.VanillaFactory(g, x0),
+		avgtime.Config{Trials: 15, Seed: 1, MaxTime: 1e4})
+	if err != nil {
+		return MicroBench{}, err
+	}
+	ns := float64(time.Since(start).Nanoseconds()) / float64(res.Events)
+	return MicroBench{
+		Name:         "avgtime/vanilla-dumbbell-per-event",
+		NsPerEvent:   ns,
+		EventsPerSec: 1e9 / ns,
+	}, nil
+}
+
+func runExperiments(quick bool) ([]ExpTiming, error) {
+	var out []ExpTiming
+	for _, e := range experiments.All() {
+		start := time.Now()
+		res, err := e.Run(io.Discard, experiments.Params{Quick: quick, Seed: 1})
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", e.ID, err)
+		}
+		out = append(out, ExpTiming{
+			ID:      e.ID,
+			Seconds: time.Since(start).Seconds(),
+			Metrics: len(res.Metrics),
+		})
+	}
+	return out, nil
+}
+
+func main() {
+	quick := flag.Bool("quick", false, "run experiments in CI-sized quick mode")
+	outPath := flag.String("out", "", "write the JSON report to this file (default stdout)")
+	skipExperiments := flag.Bool("no-experiments", false, "benchmark only the micro hot paths")
+	flag.Parse()
+
+	rep := Report{
+		Schema:      "sparsecut-bench/v1",
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		GoVersion:   runtime.Version(),
+		GOOS:        runtime.GOOS,
+		GOARCH:      runtime.GOARCH,
+		NumCPU:      runtime.NumCPU(),
+		Quick:       *quick,
+	}
+	rep.Micro = microBenches()
+	avg, err := avgtimeBench()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bench:", err)
+		os.Exit(1)
+	}
+	rep.Micro = append(rep.Micro, avg)
+	if !*skipExperiments {
+		exps, err := runExperiments(*quick)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "bench:", err)
+			os.Exit(1)
+		}
+		rep.Experiments = exps
+	}
+
+	enc, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bench:", err)
+		os.Exit(1)
+	}
+	enc = append(enc, '\n')
+	if *outPath == "" {
+		os.Stdout.Write(enc)
+		return
+	}
+	if err := os.WriteFile(*outPath, enc, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "bench:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s (%d micro benchmarks, %d experiments)\n", *outPath, len(rep.Micro), len(rep.Experiments))
+}

@@ -64,7 +64,8 @@ type SparseCutAveraging struct {
 	st   *gossip.State
 
 	ec       graph.EdgeID
-	isCut    []bool // per-edge: crosses the partition
+	isCut    []bool  // per-edge: crosses the partition
+	eu, ev   []int32 // flat endpoint arrays of g, for the fused kernel
 	weight   float64
 	rule     WeightRule
 	epochK   int64 // swap every epochK-th tick of ec
@@ -218,6 +219,8 @@ func New(g *graph.Graph, x0 []float64, opts ...Option) (*SparseCutAveraging, err
 		part:     part,
 		st:       gossip.NewState(x0),
 		ec:       ec,
+		eu:       g.EdgeU(),
+		ev:       g.EdgeV(),
 		weight:   w,
 		rule:     cfg.rule,
 		listener: cfg.listener,
@@ -301,10 +304,7 @@ func (a *SparseCutAveraging) Name() string {
 func (a *SparseCutAveraging) HandleTick(e graph.EdgeID, t float64) {
 	switch {
 	case e == a.ec || (a.ec < 0 && a.isCut[e]):
-		a.ecTicks++
-		if a.ecTicks%a.epochK == 0 {
-			a.swap(e, t)
-		}
+		a.tickCut(e, t)
 	case a.isCut[e]:
 		// Non-designated cut edges make no update (paper, Section 1.0.1).
 	default:
@@ -325,7 +325,13 @@ func (a *SparseCutAveraging) swap(e graph.EdgeID, t float64) {
 	if a.part.SideOf(edge.U) != graph.Side1 {
 		u, v = v, u
 	}
-	varBefore := a.st.Variance()
+	// The before/after variance reads exist only for the listener; without
+	// one, skip them (after a lazy kernel batch each read costs a full
+	// moment resync).
+	varBefore := 0.0
+	if a.listener != nil {
+		varBefore = a.st.Variance()
+	}
 	xu, xv := a.st.Get(u), a.st.Get(v)
 	d := a.weight * (xv - xu)
 	a.st.Set(u, xu+d)
@@ -341,8 +347,71 @@ func (a *SparseCutAveraging) swap(e graph.EdgeID, t float64) {
 	}
 }
 
+// tickCut advances the designated-edge counter and fires the swap on the
+// epoch boundary — the shared cut-edge body of HandleTick and the kernel.
+func (a *SparseCutAveraging) tickCut(e graph.EdgeID, t float64) {
+	a.ecTicks++
+	if a.ecTicks%a.epochK == 0 {
+		a.swap(e, t)
+	}
+}
+
+// TickEdges implements sim.TickKernel: the fused batch loop, bit-identical
+// in the values to HandleTick per event. Runs of internal edges — the
+// overwhelming majority on a sparse-cut graph — are flushed to the lazy
+// two-point average in sub-batches; cut edges take the same counter/swap
+// path as HandleTick, in order.
+//
+// With a swap listener installed the loop uses the eager (incremental)
+// moment updates instead: the listener's VarBefore/VarAfter then match the
+// legacy HandleTick path bit for bit, rather than being resync-exact —
+// E6-style per-epoch statistics read those fields at the float noise
+// floor, where the difference is observable.
+func (a *SparseCutAveraging) TickEdges(edges []graph.EdgeID, times []float64) {
+	eu, ev, st, isCut := a.eu, a.ev, a.st, a.isCut
+	if a.listener != nil {
+		for k, e := range edges {
+			if isCut[e] {
+				if e == a.ec || a.ec < 0 {
+					a.tickCut(e, times[k])
+				}
+				continue
+			}
+			st.AverageEdge(int(eu[e]), int(ev[e]))
+		}
+		return
+	}
+	start := 0
+	for k, e := range edges {
+		if !isCut[e] {
+			continue
+		}
+		st.AverageEdgesLazy(edges[start:k], eu, ev)
+		start = k + 1
+		if e == a.ec || a.ec < 0 {
+			a.tickCut(e, times[k])
+		}
+	}
+	st.AverageEdgesLazy(edges[start:], eu, ev)
+}
+
+// TickEdgeVar implements sim.TickKernel: one tick, one moment read.
+func (a *SparseCutAveraging) TickEdgeVar(e graph.EdgeID, t float64) float64 {
+	if a.isCut[e] {
+		if e == a.ec || a.ec < 0 {
+			a.tickCut(e, t)
+		}
+	} else {
+		a.st.AverageEdge(int(a.eu[e]), int(a.ev[e]))
+	}
+	return a.st.Variance()
+}
+
 // Values implements gossip.Algorithm.
 func (a *SparseCutAveraging) Values() []float64 { return a.st.Values() }
+
+// CopyInto implements gossip.ValueCopier.
+func (a *SparseCutAveraging) CopyInto(dst []float64) { a.st.CopyInto(dst) }
 
 // Mean implements gossip.Algorithm.
 func (a *SparseCutAveraging) Mean() float64 { return a.st.Mean() }
@@ -383,11 +452,12 @@ func (a *SparseCutAveraging) EpochDuration() float64 {
 }
 
 // SideMeans returns the current means µ1, µ2 of the two sides — the
-// quantities whose annihilation the swap is designed for.
+// quantities whose annihilation the swap is designed for. It reads the
+// state in place without copying the value vector.
 func (a *SparseCutAveraging) SideMeans() (mu1, mu2 float64) {
 	var s1, s2 float64
-	vals := a.st.Values()
-	for u, x := range vals {
+	for u := 0; u < a.st.N(); u++ {
+		x := a.st.Get(u)
 		if a.part.SideOf(graph.NodeID(u)) == graph.Side1 {
 			s1 += x
 		} else {

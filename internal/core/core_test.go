@@ -360,3 +360,104 @@ func TestEpochFormulaMatchesPaper(t *testing.T) {
 		t.Errorf("K = %d, want %d", a.EpochTicks(), want)
 	}
 }
+
+// The fused kernel path must produce bit-identical value trajectories to
+// the legacy HandleTick path, including across non-convex swaps, and the
+// swap listeners must fire at identical times and indices.
+func TestAlgorithmAKernelBitIdenticalToHandleTick(t *testing.T) {
+	g, part, err := graph.Dumbbell(16, 16, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x0 := gossip.CutIndicator(part)
+	type swapRec struct {
+		at        float64
+		index     int64
+		varBefore float64
+		varAfter  float64
+	}
+	build := func(rec *[]swapRec) *SparseCutAveraging {
+		a, err := New(g, x0, WithPartition(part), WithEpochTicks(3),
+			WithSwapListener(func(ev SwapEvent) {
+				*rec = append(*rec, swapRec{at: ev.Time, index: ev.Index, varBefore: ev.VarBefore, varAfter: ev.VarAfter})
+			}))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return a
+	}
+	var swapsL, swapsF []swapRec
+	legacy := build(&swapsL)
+	fused := build(&swapsF)
+	engL, err := sim.NewEngine(g, sim.HandlerFunc(legacy.HandleTick), sim.WithSeed(13))
+	if err != nil {
+		t.Fatal(err)
+	}
+	engF, err := sim.NewEngine(g, fused, sim.WithSeed(13))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const events = 30000
+	tL, _ := engL.Run(sim.MaxEvents(events))
+	tF, _ := engF.RunEvents(events)
+	if tL != tF {
+		t.Fatalf("end time %v legacy vs %v fused", tL, tF)
+	}
+	if legacy.Swaps() == 0 {
+		t.Fatal("no swaps fired; test covers nothing")
+	}
+	if legacy.Swaps() != fused.Swaps() {
+		t.Fatalf("%d swaps legacy vs %d fused", legacy.Swaps(), fused.Swaps())
+	}
+	if len(swapsL) != len(swapsF) {
+		t.Fatalf("%d listener events legacy vs %d fused", len(swapsL), len(swapsF))
+	}
+	for i := range swapsL {
+		if swapsL[i] != swapsF[i] {
+			t.Fatalf("swap %d: %+v legacy vs %+v fused", i, swapsL[i], swapsF[i])
+		}
+	}
+	vL, vF := legacy.Values(), fused.Values()
+	for i := range vL {
+		if math.Float64bits(vL[i]) != math.Float64bits(vF[i]) {
+			t.Fatalf("value %d = %v legacy vs %v fused (not bit-identical)", i, vL[i], vF[i])
+		}
+	}
+}
+
+// Same check in all-cut-edges mode (ec = -1), where every cut edge drives
+// the shared epoch counter.
+func TestAlgorithmAKernelBitIdenticalAllCutEdges(t *testing.T) {
+	g, part, err := graph.Dumbbell(12, 12, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x0 := gossip.CutIndicator(part)
+	build := func() *SparseCutAveraging {
+		a, err := New(g, x0, WithPartition(part), WithEpochTicks(5), WithAllCutEdges())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return a
+	}
+	legacy, fused := build(), build()
+	engL, err := sim.NewEngine(g, sim.HandlerFunc(legacy.HandleTick), sim.WithSeed(31))
+	if err != nil {
+		t.Fatal(err)
+	}
+	engF, err := sim.NewEngine(g, fused, sim.WithSeed(31))
+	if err != nil {
+		t.Fatal(err)
+	}
+	engL.Run(sim.MaxEvents(20000))
+	engF.RunEvents(20000)
+	if legacy.Swaps() == 0 || legacy.Swaps() != fused.Swaps() {
+		t.Fatalf("swaps: %d legacy vs %d fused", legacy.Swaps(), fused.Swaps())
+	}
+	vL, vF := legacy.Values(), fused.Values()
+	for i := range vL {
+		if math.Float64bits(vL[i]) != math.Float64bits(vF[i]) {
+			t.Fatalf("value %d = %v legacy vs %v fused", i, vL[i], vF[i])
+		}
+	}
+}

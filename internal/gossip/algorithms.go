@@ -25,12 +25,23 @@ type Algorithm interface {
 	Variance() float64
 }
 
+// ValueCopier is the optional allocation-free counterpart of Values: all
+// algorithms in this repository implement it, and trajectory samplers
+// assert for it to poll into a reused buffer. It is deliberately not part
+// of Algorithm so external Algorithm implementations keep compiling.
+type ValueCopier interface {
+	// CopyInto writes the current value vector into dst (len must equal
+	// the node count).
+	CopyInto(dst []float64)
+}
+
 // Vanilla is the paper's baseline: a tick of edge (i, j) replaces both
 // endpoint values with their arithmetic mean. It is the α = 1/2 member of
 // class C and the algorithm whose averaging time defines Tvan.
 type Vanilla struct {
-	g  *graph.Graph
-	st *State
+	g      *graph.Graph
+	st     *State
+	eu, ev []int32 // flat endpoint arrays of g, for the fused kernel
 }
 
 // NewVanilla builds vanilla gossip on g with initial values x0. It returns
@@ -39,7 +50,7 @@ func NewVanilla(g *graph.Graph, x0 []float64) (*Vanilla, error) {
 	if len(x0) != g.NumNodes() {
 		return nil, fmt.Errorf("gossip: %d initial values for %d nodes", len(x0), g.NumNodes())
 	}
-	return &Vanilla{g: g, st: NewState(x0)}, nil
+	return &Vanilla{g: g, st: NewState(x0), eu: g.EdgeU(), ev: g.EdgeV()}, nil
 }
 
 // Name implements Algorithm.
@@ -54,8 +65,23 @@ func (v *Vanilla) HandleTick(e graph.EdgeID, _ float64) {
 	v.st.Set(j, avg)
 }
 
+// TickEdges implements sim.TickKernel: the fused batch loop, bit-identical
+// in the values to HandleTick per event (moments resync on the next read).
+func (v *Vanilla) TickEdges(edges []graph.EdgeID, _ []float64) {
+	v.st.AverageEdgesLazy(edges, v.eu, v.ev)
+}
+
+// TickEdgeVar implements sim.TickKernel: one tick, one moment read.
+func (v *Vanilla) TickEdgeVar(e graph.EdgeID, _ float64) float64 {
+	v.st.AverageEdge(int(v.eu[e]), int(v.ev[e]))
+	return v.st.Variance()
+}
+
 // Values implements Algorithm.
 func (v *Vanilla) Values() []float64 { return v.st.Values() }
+
+// CopyInto implements ValueCopier.
+func (v *Vanilla) CopyInto(dst []float64) { v.st.CopyInto(dst) }
 
 // Mean implements Algorithm.
 func (v *Vanilla) Mean() float64 { return v.st.Mean() }
@@ -73,9 +99,10 @@ func (v *Vanilla) Variance() float64 { return v.st.Variance() }
 // α closer to 1 is "lazier". All members preserve the sum and never
 // increase the variance — the properties Theorem 1's lower bound exploits.
 type Convex struct {
-	g     *graph.Graph
-	st    *State
-	alpha float64
+	g      *graph.Graph
+	st     *State
+	alpha  float64
+	eu, ev []int32
 }
 
 // NewConvex builds α-gossip on g. It returns an error for α outside [0, 1]
@@ -87,7 +114,7 @@ func NewConvex(g *graph.Graph, x0 []float64, alpha float64) (*Convex, error) {
 	if len(x0) != g.NumNodes() {
 		return nil, fmt.Errorf("gossip: %d initial values for %d nodes", len(x0), g.NumNodes())
 	}
-	return &Convex{g: g, st: NewState(x0), alpha: alpha}, nil
+	return &Convex{g: g, st: NewState(x0), alpha: alpha, eu: g.EdgeU(), ev: g.EdgeV()}, nil
 }
 
 // Name implements Algorithm.
@@ -105,8 +132,23 @@ func (c *Convex) HandleTick(e graph.EdgeID, _ float64) {
 	c.st.Set(j, c.alpha*xj+(1-c.alpha)*xi)
 }
 
+// TickEdges implements sim.TickKernel: the fused batch loop, bit-identical
+// in the values to HandleTick per event (moments resync on the next read).
+func (c *Convex) TickEdges(edges []graph.EdgeID, _ []float64) {
+	c.st.ConvexEdgesLazy(edges, c.eu, c.ev, c.alpha)
+}
+
+// TickEdgeVar implements sim.TickKernel: one tick, one moment read.
+func (c *Convex) TickEdgeVar(e graph.EdgeID, _ float64) float64 {
+	c.st.ConvexEdge(int(c.eu[e]), int(c.ev[e]), c.alpha)
+	return c.st.Variance()
+}
+
 // Values implements Algorithm.
 func (c *Convex) Values() []float64 { return c.st.Values() }
+
+// CopyInto implements ValueCopier.
+func (c *Convex) CopyInto(dst []float64) { c.st.CopyInto(dst) }
 
 // Mean implements Algorithm.
 func (c *Convex) Mean() float64 { return c.st.Mean() }
@@ -121,11 +163,12 @@ func (c *Convex) Variance() float64 { return c.st.Variance() }
 // lower bound; it is included to show the bound is about convexity, not
 // about any particular update rule.
 type PushSum struct {
-	g   *graph.Graph
-	s   []float64
-	w   []float64
-	est *State // estimates s/w, kept in sync for O(1) variance
-	r   *rng.RNG
+	g      *graph.Graph
+	s      []float64
+	w      []float64
+	est    *State // estimates s/w, kept in sync for O(1) variance
+	r      *rng.RNG
+	eu, ev []int32
 }
 
 // NewPushSum builds push-sum on g with initial values x0 and its own
@@ -138,10 +181,12 @@ func NewPushSum(g *graph.Graph, x0 []float64, r *rng.RNG) (*PushSum, error) {
 		return nil, fmt.Errorf("gossip: push-sum requires an RNG")
 	}
 	p := &PushSum{
-		g: g,
-		s: append([]float64(nil), x0...),
-		w: make([]float64, len(x0)),
-		r: r,
+		g:  g,
+		s:  append([]float64(nil), x0...),
+		w:  make([]float64, len(x0)),
+		r:  r,
+		eu: g.EdgeU(),
+		ev: g.EdgeV(),
 	}
 	for i := range p.w {
 		p.w[i] = 1
@@ -169,8 +214,45 @@ func (p *PushSum) HandleTick(e graph.EdgeID, _ float64) {
 	p.est.Set(to, p.s[to]/p.w[to])
 }
 
+// tickPair applies one push-sum exchange between the endpoints i, j of a
+// ticked edge, bit-identical in the mass vectors and estimates to
+// HandleTick's body. When lazy is set the estimate moments are deferred to
+// the next moment read.
+func (p *PushSum) tickPair(i, j int, lazy bool) {
+	from, to := i, j
+	if p.r.Float64() < 0.5 {
+		from, to = to, from
+	}
+	halfS, halfW := p.s[from]/2, p.w[from]/2
+	p.s[from] -= halfS
+	p.w[from] -= halfW
+	p.s[to] += halfS
+	p.w[to] += halfW
+	if lazy {
+		p.est.Set2Lazy(from, to, p.s[from]/p.w[from], p.s[to]/p.w[to])
+	} else {
+		p.est.Set2(from, to, p.s[from]/p.w[from], p.s[to]/p.w[to])
+	}
+}
+
+// TickEdges implements sim.TickKernel.
+func (p *PushSum) TickEdges(edges []graph.EdgeID, _ []float64) {
+	for _, e := range edges {
+		p.tickPair(int(p.eu[e]), int(p.ev[e]), true)
+	}
+}
+
+// TickEdgeVar implements sim.TickKernel.
+func (p *PushSum) TickEdgeVar(e graph.EdgeID, _ float64) float64 {
+	p.tickPair(int(p.eu[e]), int(p.ev[e]), false)
+	return p.est.Variance()
+}
+
 // Values implements Algorithm (the per-node estimates s/w).
 func (p *PushSum) Values() []float64 { return p.est.Values() }
+
+// CopyInto implements ValueCopier.(the per-node estimates s/w).
+func (p *PushSum) CopyInto(dst []float64) { p.est.CopyInto(dst) }
 
 // Mean implements Algorithm. Note push-sum preserves total mass Σs and
 // total weight Σw rather than the mean of the estimates; Mean reports the

@@ -11,6 +11,8 @@ package gossip
 import (
 	"fmt"
 	"math"
+
+	"sparsecut/internal/graph"
 )
 
 // resyncInterval bounds floating-point drift of the incremental moments:
@@ -31,6 +33,10 @@ type State struct {
 	sum     float64 // Σy
 	sumSq   float64 // Σy²
 	updates int     // point updates since the last exact resync
+	// dirty marks the incremental moments stale: the lazy batch updates
+	// (AverageEdgesLazy and friends) touch only the values and defer the
+	// moment bookkeeping to the next moment read, which resyncs exactly.
+	dirty bool
 }
 
 // NewState initialises state from the vector x0 (copied, not aliased).
@@ -70,13 +76,139 @@ func (s *State) Set(i int, v float64) {
 	}
 }
 
+// Set2 assigns nodes i and j (i != j) the values vi, vj (original frame)
+// in one fused call: one moment update, one resync check. It is
+// bit-identical in the stored values to Set(i, vi); Set(j, vj) — the
+// moment arithmetic is applied in the same order.
+func (s *State) Set2(i, j int, vi, vj float64) {
+	yi, yj := s.y[i], s.y[j]
+	ci := vi - s.offset
+	cj := vj - s.offset
+	s.y[i] = ci
+	s.y[j] = cj
+	s.sum += ci - yi
+	s.sum += cj - yj
+	s.sumSq += ci*ci - yi*yi
+	s.sumSq += cj*cj - yj*yj
+	s.updates += 2
+	if s.updates >= resyncInterval {
+		s.resync()
+	}
+}
+
+// AverageEdge applies the vanilla exchange on the edge {i, j}: both nodes
+// move to their arithmetic mean, with one fused moment update. The
+// arithmetic replicates Get/Get/Set/Set exactly (including the
+// offset round-trips), so the stored values are bit-identical to the
+// unfused sequence — the fused-kernel equivalence tests rely on this.
+func (s *State) AverageEdge(i, j int) {
+	yi, yj := s.y[i], s.y[j]
+	c := ((yi + s.offset) + (yj + s.offset)) / 2
+	c -= s.offset
+	s.y[i] = c
+	s.y[j] = c
+	s.sum += c - yi
+	s.sum += c - yj
+	cc := c * c
+	s.sumSq += cc - yi*yi
+	s.sumSq += cc - yj*yj
+	s.updates += 2
+	if s.updates >= resyncInterval {
+		s.resync()
+	}
+}
+
+// ConvexEdge applies the class-C exchange with mixing parameter alpha on
+// the edge {i, j}:
+//
+//	x_i ← α·x_i + (1−α)·x_j,  x_j ← α·x_j + (1−α)·x_i(old)
+//
+// with one fused moment update, bit-identical in the stored values to the
+// unfused Get/Set sequence.
+func (s *State) ConvexEdge(i, j int, alpha float64) {
+	yi, yj := s.y[i], s.y[j]
+	xi, xj := yi+s.offset, yj+s.offset
+	ci := alpha*xi + (1-alpha)*xj - s.offset
+	cj := alpha*xj + (1-alpha)*xi - s.offset
+	s.y[i] = ci
+	s.y[j] = cj
+	s.sum += ci - yi
+	s.sum += cj - yj
+	s.sumSq += ci*ci - yi*yi
+	s.sumSq += cj*cj - yj*yj
+	s.updates += 2
+	if s.updates >= resyncInterval {
+		s.resync()
+	}
+}
+
+// AverageEdgesLazy applies the vanilla exchange for every edge of the
+// batch (endpoints resolved through the flat arrays eu, ev), updating the
+// values only: the moment bookkeeping is deferred to the next moment read,
+// which recomputes exactly. This is the untracked simulation hot loop —
+// per event it costs two loads, one fused average and two stores, with
+// sum/Σ² chains removed entirely. The stored values are bit-identical to
+// the unfused Get/Set sequence.
+func (s *State) AverageEdgesLazy(edges []graph.EdgeID, eu, ev []int32) {
+	y, off := s.y, s.offset
+	for _, e := range edges {
+		i, j := eu[e], ev[e]
+		yi, yj := y[i], y[j]
+		c := ((yi + off) + (yj + off)) / 2
+		c -= off
+		y[i] = c
+		y[j] = c
+	}
+	s.dirty = true
+}
+
+// ConvexEdgesLazy is AverageEdgesLazy for the class-C exchange with mixing
+// parameter alpha.
+func (s *State) ConvexEdgesLazy(edges []graph.EdgeID, eu, ev []int32, alpha float64) {
+	y, off := s.y, s.offset
+	beta := 1 - alpha
+	for _, e := range edges {
+		i, j := eu[e], ev[e]
+		xi, xj := y[i]+off, y[j]+off
+		y[i] = alpha*xi + beta*xj - off
+		y[j] = alpha*xj + beta*xi - off
+	}
+	s.dirty = true
+}
+
+// Set2Lazy assigns nodes i and j (i != j) the values vi, vj (original
+// frame), deferring the moment bookkeeping like AverageEdgesLazy.
+func (s *State) Set2Lazy(i, j int, vi, vj float64) {
+	s.y[i] = vi - s.offset
+	s.y[j] = vj - s.offset
+	s.dirty = true
+}
+
 // Values returns a fresh copy of the value vector in the original frame.
 func (s *State) Values() []float64 {
 	out := make([]float64, len(s.y))
-	for i, v := range s.y {
-		out[i] = v + s.offset
-	}
+	s.CopyInto(out)
 	return out
+}
+
+// CopyInto writes the value vector (original frame) into dst — the
+// allocation-free counterpart of Values for trajectory recording that
+// samples repeatedly into a reused buffer. It panics if len(dst) != N().
+func (s *State) CopyInto(dst []float64) {
+	if len(dst) != len(s.y) {
+		panic("gossip: CopyInto buffer length mismatch")
+	}
+	for i, v := range s.y {
+		dst[i] = v + s.offset
+	}
+}
+
+// syncIfDirty makes the moments exact after lazy batch updates.
+func (s *State) syncIfDirty() {
+	if s.dirty {
+		s.resync()
+		s.dirty = false
+	}
 }
 
 // Mean returns the current average value. For the sum-preserving algorithms
@@ -85,21 +217,25 @@ func (s *State) Mean() float64 {
 	if len(s.y) == 0 {
 		return math.NaN()
 	}
+	s.syncIfDirty()
 	return s.offset + s.sum/float64(len(s.y))
 }
 
 // Sum returns the current total Σx in the original frame.
 func (s *State) Sum() float64 {
+	s.syncIfDirty()
 	return s.sum + s.offset*float64(len(s.y))
 }
 
 // Variance returns the paper's varX: the population variance of the value
-// vector, maintained incrementally.
+// vector, maintained incrementally (recomputed exactly on the first read
+// after a lazy batch update).
 func (s *State) Variance() float64 {
 	n := float64(len(s.y))
 	if n == 0 {
 		return 0
 	}
+	s.syncIfDirty()
 	m := s.sum / n
 	v := s.sumSq/n - m*m
 	if v < 0 { // float rounding can push a converged process slightly negative

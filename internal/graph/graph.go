@@ -67,6 +67,15 @@ type Graph struct {
 	adj   [][]HalfEdge
 	// pos holds optional 2-D coordinates (geometric generators); nil otherwise.
 	pos []Point
+
+	// Flat mirrors of edges/adj, built once at Build() time so simulation
+	// kernels can resolve an edge's endpoints or a node's neighbourhood with
+	// plain int32 array indexing instead of Edge struct loads or slice-of-
+	// slice pointer chasing.
+	edgeU, edgeV []int32 // endpoints of edge id, edgeU[id] < edgeV[id]
+	csrOff       []int32 // CSR offsets, len NumNodes()+1
+	csrPeer      []int32 // neighbour of the half-edge, len 2*NumEdges()
+	csrEdge      []int32 // undirected edge id of the half-edge, len 2*NumEdges()
 }
 
 // Point is a 2-D coordinate attached to nodes of geometric graphs.
@@ -88,6 +97,24 @@ func (g *Graph) Edge(id EdgeID) Edge { return g.edges[id] }
 
 // Edges returns the full edge list. The caller must not modify it.
 func (g *Graph) Edges() []Edge { return g.edges }
+
+// EdgeU returns the flat lower-endpoint array: EdgeU()[id] and EdgeV()[id]
+// are the endpoints of edge id with EdgeU()[id] < EdgeV()[id]. Hot loops
+// index it directly instead of loading Edge structs. The caller must not
+// modify it.
+func (g *Graph) EdgeU() []int32 { return g.edgeU }
+
+// EdgeV returns the flat upper-endpoint array; see EdgeU. The caller must
+// not modify it.
+func (g *Graph) EdgeV() []int32 { return g.edgeV }
+
+// CSR returns the compressed-sparse-row adjacency: the half-edges of node u
+// are peers[offsets[u]:offsets[u+1]] (sorted by peer id, matching
+// Neighbors), and edges[k] is the undirected edge id of half-edge k. The
+// caller must not modify the returned slices.
+func (g *Graph) CSR() (offsets, peers, edges []int32) {
+	return g.csrOff, g.csrPeer, g.csrEdge
+}
 
 // Degree returns the number of neighbours of node u.
 func (g *Graph) Degree(u NodeID) int { return len(g.adj[u]) }
@@ -237,6 +264,26 @@ func (b *Builder) Build() (*Graph, error) {
 	for _, a := range g.adj {
 		sort.Slice(a, func(i, j int) bool { return a[i].Peer < a[j].Peer })
 	}
+	// Flat endpoint arrays and CSR adjacency for simulation kernels.
+	g.edgeU = make([]int32, len(g.edges))
+	g.edgeV = make([]int32, len(g.edges))
+	for id, e := range g.edges {
+		g.edgeU[id] = int32(e.U)
+		g.edgeV[id] = int32(e.V)
+	}
+	g.csrOff = make([]int32, b.n+1)
+	g.csrPeer = make([]int32, 2*len(g.edges))
+	g.csrEdge = make([]int32, 2*len(g.edges))
+	k := 0
+	for u, a := range g.adj {
+		g.csrOff[u] = int32(k)
+		for _, he := range a {
+			g.csrPeer[k] = int32(he.Peer)
+			g.csrEdge[k] = int32(he.Edge)
+			k++
+		}
+	}
+	g.csrOff[b.n] = int32(k)
 	return g, nil
 }
 

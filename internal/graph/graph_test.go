@@ -208,3 +208,55 @@ func TestBuilderQuickProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// The flat endpoint arrays and CSR adjacency built at Build time must
+// mirror Edges() and Neighbors() exactly.
+func TestFlatArraysAndCSR(t *testing.T) {
+	g, _, err := Dumbbell(9, 7, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eu, ev := g.EdgeU(), g.EdgeV()
+	if len(eu) != g.NumEdges() || len(ev) != g.NumEdges() {
+		t.Fatalf("flat arrays have %d/%d entries for %d edges", len(eu), len(ev), g.NumEdges())
+	}
+	for id, e := range g.Edges() {
+		if NodeID(eu[id]) != e.U || NodeID(ev[id]) != e.V {
+			t.Errorf("edge %d: flat (%d,%d) vs struct %v", id, eu[id], ev[id], e)
+		}
+		if eu[id] >= ev[id] {
+			t.Errorf("edge %d: endpoints not ordered: %d >= %d", id, eu[id], ev[id])
+		}
+	}
+	off, peers, edges := g.CSR()
+	if len(off) != g.NumNodes()+1 {
+		t.Fatalf("CSR offsets length %d for %d nodes", len(off), g.NumNodes())
+	}
+	if int(off[g.NumNodes()]) != 2*g.NumEdges() || len(peers) != 2*g.NumEdges() || len(edges) != 2*g.NumEdges() {
+		t.Fatalf("CSR half-edge count mismatch")
+	}
+	for u := 0; u < g.NumNodes(); u++ {
+		adj := g.Neighbors(NodeID(u))
+		lo, hi := off[u], off[u+1]
+		if int(hi-lo) != len(adj) {
+			t.Fatalf("node %d: CSR row %d entries vs %d neighbours", u, hi-lo, len(adj))
+		}
+		for k, he := range adj {
+			if NodeID(peers[lo+int32(k)]) != he.Peer || EdgeID(edges[lo+int32(k)]) != he.Edge {
+				t.Errorf("node %d half-edge %d: CSR (%d,%d) vs adj %+v", u, k, peers[lo+int32(k)], edges[lo+int32(k)], he)
+			}
+		}
+	}
+}
+
+// An empty graph exposes empty (not nil-panicking) flat views.
+func TestFlatArraysEmptyGraph(t *testing.T) {
+	g := NewBuilder(3).MustBuild()
+	if len(g.EdgeU()) != 0 || len(g.EdgeV()) != 0 {
+		t.Error("edgeless graph has flat endpoints")
+	}
+	off, _, _ := g.CSR()
+	if len(off) != 4 {
+		t.Errorf("offsets length %d, want 4", len(off))
+	}
+}

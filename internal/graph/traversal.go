@@ -4,21 +4,26 @@ package graph
 // component extraction) that generators and cut detection rely on.
 
 // BFSDistances returns the hop distance from src to every node, with -1 for
-// unreachable nodes. It panics if src is out of range.
+// unreachable nodes. It panics if src is out of range. The traversal runs
+// over the flat CSR adjacency with a fixed-capacity cursor queue — Diameter
+// calls this once per node, so the all-pairs cost matters on the larger
+// experiment graphs.
 func BFSDistances(g *Graph, src NodeID) []int {
 	dist := make([]int, g.NumNodes())
 	for i := range dist {
 		dist[i] = -1
 	}
 	dist[src] = 0
-	queue := []NodeID{src}
-	for len(queue) > 0 {
-		u := queue[0]
-		queue = queue[1:]
-		for _, he := range g.Neighbors(u) {
-			if dist[he.Peer] == -1 {
-				dist[he.Peer] = dist[u] + 1
-				queue = append(queue, he.Peer)
+	off, peers, _ := g.CSR()
+	queue := make([]int32, 1, g.NumNodes())
+	queue[0] = int32(src)
+	for head := 0; head < len(queue); head++ {
+		u := queue[head]
+		du := dist[u]
+		for _, v := range peers[off[u]:off[u+1]] {
+			if dist[v] == -1 {
+				dist[v] = du + 1
+				queue = append(queue, v)
 			}
 		}
 	}

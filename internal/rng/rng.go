@@ -8,7 +8,17 @@
 // child streams for parallel Monte-Carlo trials.
 package rng
 
-import "math"
+import (
+	"math"
+	"math/bits"
+)
+
+// u64BlockSize is the internal generation block: outputs are produced 256
+// words at a time with the xoshiro state held in registers, which decouples
+// the generator's serial state recurrence from the consumers' float math in
+// simulation hot loops. The emitted sequence is identical to calling the
+// raw generator once per output.
+const u64BlockSize = 256
 
 // RNG is a deterministic pseudo-random number generator.
 //
@@ -20,6 +30,11 @@ type RNG struct {
 	// Cached second output of the polar method for NormFloat64.
 	spare      float64
 	spareValid bool
+
+	// Block buffer of pre-generated outputs; pos == u64BlockSize means
+	// empty.
+	pos int
+	buf [u64BlockSize]uint64
 }
 
 // splitmix64 advances a 64-bit state and returns the next output. It is the
@@ -35,7 +50,7 @@ func splitmix64(state *uint64) uint64 {
 // New returns a generator deterministically seeded from seed. Distinct seeds
 // yield (for all practical purposes) independent streams.
 func New(seed uint64) *RNG {
-	r := &RNG{}
+	r := &RNG{pos: u64BlockSize}
 	sm := seed
 	for i := range r.s {
 		r.s[i] = splitmix64(&sm)
@@ -55,19 +70,36 @@ func (r *RNG) Split() *RNG {
 	return New(r.Uint64() ^ 0xd2b74407b1ce6e93)
 }
 
-func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
-
-// Uint64 returns the next 64 uniformly distributed bits.
+// Uint64 returns the next 64 uniformly distributed bits, served from the
+// pre-generated block — small enough to inline at every call site, with
+// the xoshiro recurrence amortised into refill.
 func (r *RNG) Uint64() uint64 {
-	result := rotl(r.s[0]+r.s[3], 23) + r.s[0]
-	t := r.s[1] << 17
-	r.s[2] ^= r.s[0]
-	r.s[3] ^= r.s[1]
-	r.s[1] ^= r.s[2]
-	r.s[0] ^= r.s[3]
-	r.s[2] ^= t
-	r.s[3] = rotl(r.s[3], 45)
-	return result
+	if r.pos >= u64BlockSize {
+		r.refill()
+	}
+	v := r.buf[r.pos]
+	r.pos++
+	return v
+}
+
+// refill regenerates the output block, holding the state in registers for
+// the whole run. The rotations are written out inline so the loop body
+// compiles to straight-line integer ops.
+func (r *RNG) refill() {
+	s0, s1, s2, s3 := r.s[0], r.s[1], r.s[2], r.s[3]
+	for i := range r.buf {
+		x := s0 + s3
+		r.buf[i] = (x<<23 | x>>41) + s0
+		t := s1 << 17
+		s2 ^= s0
+		s3 ^= s1
+		s1 ^= s2
+		s0 ^= s3
+		s2 ^= t
+		s3 = s3<<45 | s3>>19
+	}
+	r.s[0], r.s[1], r.s[2], r.s[3] = s0, s1, s2, s3
+	r.pos = 0
 }
 
 // Float64 returns a uniform float64 in [0, 1) with 53 bits of precision.
@@ -81,31 +113,28 @@ func (r *RNG) Intn(n int) int {
 		panic("rng: Intn called with n <= 0")
 	}
 	// Lemire's multiply-shift rejection method: unbiased and branch-light.
+	// bits.Mul64 compiles to a single widening multiply, and the expensive
+	// 64-bit modulo that computes the exact rejection threshold only runs
+	// when lo < n (probability n/2^64), not on every call.
 	bound := uint64(n)
-	for {
-		v := r.Uint64()
-		hi, lo := mul64(v, bound)
-		if lo >= bound || lo >= (-bound)%bound {
-			return int(hi)
-		}
+	hi, lo := bits.Mul64(r.Uint64(), bound)
+	if lo < bound {
+		hi = r.IntnSlow(hi, lo, bound)
 	}
+	return int(hi)
 }
 
-// mul64 returns the 128-bit product of a and b as (hi, lo). Implemented
-// manually so the package has no dependency on math/bits semantics changing
-// (math/bits.Mul64 would also be fine; this keeps the arithmetic explicit).
-func mul64(a, b uint64) (hi, lo uint64) {
-	const mask32 = 1<<32 - 1
-	a0, a1 := a&mask32, a>>32
-	b0, b1 := b&mask32, b>>32
-	w0 := a0 * b0
-	t := a1*b0 + w0>>32
-	w1 := t & mask32
-	w2 := t >> 32
-	w1 += a0 * b1
-	hi = a1*b1 + w2 + w1>>32
-	lo = a * b
-	return hi, lo
+// IntnSlow resolves the rare rejection branch of Intn's Lemire pick. Hot
+// loops that inline the fast path — hi, lo := bits.Mul64(r.Uint64(),
+// bound) — call this when lo < bound, exactly as Intn does; keeping the
+// threshold logic here means there is a single source of truth for the
+// draw sequence.
+func (r *RNG) IntnSlow(hi, lo, bound uint64) uint64 {
+	thresh := (-bound) % bound
+	for lo < thresh {
+		hi, lo = bits.Mul64(r.Uint64(), bound)
+	}
+	return hi
 }
 
 // Int63 returns a uniform non-negative int64.
@@ -113,14 +142,122 @@ func (r *RNG) Int63() int64 {
 	return int64(r.Uint64() >> 1)
 }
 
+// openUnit returns a uniform float64 strictly inside (0, 1): the half-unit
+// offset keeps the lattice off both endpoints, so -Log(openUnit) is always
+// positive and finite. 52 bits are used so every k+0.5 is exactly
+// representable — with 53, the top lattice point (2^53-1)+0.5 would round
+// up to 2^53 and map to exactly 1.
+func (r *RNG) openUnit() float64 {
+	return (float64(r.Uint64()>>12) + 0.5) * (1.0 / (1 << 52))
+}
+
 // ExpFloat64 returns an exponentially distributed sample with the given
-// rate (mean 1/rate), via inversion. It panics if rate <= 0.
+// rate (mean 1/rate), via inversion on the open interval (0, 1) — the
+// sample is never exactly 0 and never +Inf. It panics if rate <= 0.
 func (r *RNG) ExpFloat64(rate float64) float64 {
 	if rate <= 0 {
 		panic("rng: ExpFloat64 called with rate <= 0")
 	}
-	// 1 - Float64() is in (0, 1], so Log never sees zero.
-	return -math.Log(1-r.Float64()) / rate
+	return -math.Log(r.openUnit()) / rate
+}
+
+// Ziggurat tables for the unit exponential (Marsaglia & Tsang, 256 layers).
+// zigR is the rightmost layer boundary and zigV the common layer area; the
+// remaining abscissae are generated at init from the standard recurrence
+// exp(-x[i+1]) = exp(-x[i]) + v/x[i], which closes exactly at x[256] = 0
+// for these two constants.
+const (
+	zigR = 7.69711747013104972
+	zigV = 0.0039496598225815571993
+)
+
+var (
+	zigX [257]float64 // layer widths, decreasing: zigX[0] = v*e^r, ..., zigX[256] = 0
+	zigY [257]float64 // zigY[i] = exp(-zigX[i]) for i >= 1, increasing to zigY[256] = 1
+	zigW [256]float64 // zigX[i] * 2^-53: pre-scaled so the hot path multiplies once
+)
+
+func init() {
+	zigX[0] = zigV * math.Exp(zigR)
+	zigX[1] = zigR
+	for i := 2; i <= 255; i++ {
+		zigX[i] = -math.Log(math.Exp(-zigX[i-1]) + zigV/zigX[i-1])
+	}
+	zigX[256] = 0
+	for i := 1; i <= 256; i++ {
+		zigY[i] = math.Exp(-zigX[i])
+	}
+	for i := 0; i < 256; i++ {
+		// The power-of-two scaling is exact, so mantissa*zigW[i] rounds to
+		// the same float64 as (mantissa*2^-53)*zigX[i].
+		zigW[i] = zigX[i] * (1.0 / (1 << 53))
+	}
+}
+
+// ZigAccept is the accept-fast case of the exponential ziggurat: given 64
+// uniform bits it returns the candidate sample and whether it is accepted
+// outright (strictly inside its layer, nonzero). Bits 0..7 pick the layer
+// and bits 11..63 form the mantissa, so the two are independent. It is
+// exported — together with ExpUnitSlow — so simulation hot loops can
+// inline the common path; consume the pair exactly as ExpUnit does.
+func ZigAccept(u uint64) (float64, bool) {
+	i := u & 0xFF
+	x := float64(u>>11) * zigW[i]
+	return x, x > 0 && x < zigX[i+1]
+}
+
+// ExpUnitSlow finishes an ExpUnit draw whose first 64 bits u were not
+// accepted by ZigAccept: the base-layer tail, the wedge test (and, on
+// rejection or a zero mantissa, fresh draws).
+func (r *RNG) ExpUnitSlow(u uint64) float64 {
+	for {
+		i := u & 0xFF
+		x := float64(u>>11) * zigW[i]
+		if x > 0 {
+			if x < zigX[i+1] {
+				return x // fully under the curve within this layer
+			}
+			if i == 0 {
+				// Beyond zigR: by memorylessness the tail is zigR + Exp(1),
+				// sampled by inversion on the open interval.
+				return zigR - math.Log(r.openUnit())
+			}
+			// Wedge: the point (x, y) with y uniform over the layer's
+			// vertical extent is accepted iff it lies under exp(-x).
+			if zigY[i]+r.Float64()*(zigY[i+1]-zigY[i]) < math.Exp(-x) {
+				return x
+			}
+		}
+		// Zero mantissa (prob 2^-53, keeps the support open) or wedge
+		// rejection: redraw.
+		u = r.Uint64()
+	}
+}
+
+// ExpUnit returns a unit-rate exponential sample via the ziggurat method:
+// the common case costs one Uint64, one multiply and two compares — no
+// Log. Like ExpFloat64 it never returns 0 or +Inf. Scale by 1/rate for
+// other rates; the simulator's schedulers use it for every inter-event
+// gap.
+func (r *RNG) ExpUnit() float64 {
+	u := r.Uint64()
+	if x, ok := ZigAccept(u); ok {
+		return x
+	}
+	return r.ExpUnitSlow(u)
+}
+
+// FillExp fills dst with independent exponential samples of the given rate
+// — the batched gap sampler for simulator hot loops (one bounds-checked
+// call per batch rather than per event). It panics if rate <= 0.
+func (r *RNG) FillExp(dst []float64, rate float64) {
+	if rate <= 0 {
+		panic("rng: FillExp called with rate <= 0")
+	}
+	inv := 1 / rate
+	for i := range dst {
+		dst[i] = r.ExpUnit() * inv
+	}
 }
 
 // NormFloat64 returns a standard normal sample using the Marsaglia polar

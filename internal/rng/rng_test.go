@@ -282,25 +282,6 @@ func TestShufflePreservesMultiset(t *testing.T) {
 	}
 }
 
-func TestMul64(t *testing.T) {
-	cases := []struct {
-		a, b   uint64
-		hi, lo uint64
-	}{
-		{0, 0, 0, 0},
-		{1, 1, 0, 1},
-		{math.MaxUint64, 2, 1, math.MaxUint64 - 1},
-		{1 << 32, 1 << 32, 1, 0},
-		{math.MaxUint64, math.MaxUint64, math.MaxUint64 - 1, 1},
-	}
-	for _, c := range cases {
-		hi, lo := mul64(c.a, c.b)
-		if hi != c.hi || lo != c.lo {
-			t.Errorf("mul64(%d,%d) = (%d,%d), want (%d,%d)", c.a, c.b, hi, lo, c.hi, c.lo)
-		}
-	}
-}
-
 func BenchmarkUint64(b *testing.B) {
 	r := New(1)
 	var sink uint64
@@ -317,4 +298,130 @@ func BenchmarkExpFloat64(b *testing.B) {
 		sink += r.ExpFloat64(1)
 	}
 	_ = sink
+}
+
+// Regression for the open-interval fix: neither exponential sampler may
+// ever return exactly 0 or +Inf (the old 1-Float64() inversion could
+// return 0 when Float64() hit its lattice endpoint).
+func TestExponentialSamplersOpenSupport(t *testing.T) {
+	r := New(123)
+	for i := 0; i < 2_000_000; i++ {
+		x := r.ExpFloat64(2.5)
+		if !(x > 0) || math.IsInf(x, 1) {
+			t.Fatalf("ExpFloat64 draw %d = %v", i, x)
+		}
+		u := r.ExpUnit()
+		if !(u > 0) || math.IsInf(u, 1) {
+			t.Fatalf("ExpUnit draw %d = %v", i, u)
+		}
+	}
+	// The inversion endpoints themselves stay strictly inside the support:
+	// the extreme mantissae map to finite positive samples. (The 52-bit
+	// lattice matters: with 53 bits the upper endpoint would round to 1.0
+	// and map to -0.)
+	if x := -math.Log(0.5 * (1.0 / (1 << 52))); math.IsInf(x, 1) || !(x > 0) {
+		t.Fatalf("lower lattice endpoint maps to %v", x)
+	}
+	if x := -math.Log((float64(1<<52-1) + 0.5) * (1.0 / (1 << 52))); !(x > 0) {
+		t.Fatalf("upper lattice endpoint maps to %v (must stay positive)", x)
+	}
+}
+
+// The ziggurat sampler must realise the unit exponential: first two
+// moments, tail mass beyond the base layer, and a uniform CDF transform.
+func TestExpUnitDistribution(t *testing.T) {
+	r := New(42)
+	const n = 2_000_000
+	var sum, sumSq float64
+	tail := 0
+	buckets := make([]int, 10)
+	for i := 0; i < n; i++ {
+		x := r.ExpUnit()
+		sum += x
+		sumSq += x * x
+		if x > zigR {
+			tail++
+		}
+		q := int(10 * (1 - math.Exp(-x)))
+		if q > 9 {
+			q = 9
+		}
+		buckets[q]++
+	}
+	mean := sum / n
+	if math.Abs(mean-1) > 0.005 {
+		t.Errorf("mean %v, want ~1", mean)
+	}
+	if v := sumSq/n - mean*mean; math.Abs(v-1) > 0.02 {
+		t.Errorf("variance %v, want ~1", v)
+	}
+	wantTail := math.Exp(-zigR) // 4.54e-4
+	if got := float64(tail) / n; math.Abs(got-wantTail)/wantTail > 0.15 {
+		t.Errorf("tail mass %v, want ~%v", got, wantTail)
+	}
+	for q, c := range buckets {
+		if math.Abs(float64(c)-n/10.0) > 5*math.Sqrt(n*0.1*0.9) {
+			t.Errorf("CDF decile %d holds %d, want ~%d", q, c, n/10)
+		}
+	}
+}
+
+// ExpUnit is the composition of the exported fast path and slow finisher —
+// the pair hot loops inline must reproduce it draw for draw.
+func TestZigAcceptComposition(t *testing.T) {
+	a, b := New(9), New(9)
+	for i := 0; i < 200000; i++ {
+		want := a.ExpUnit()
+		u := b.Uint64()
+		got, ok := ZigAccept(u)
+		if !ok {
+			got = b.ExpUnitSlow(u)
+		}
+		if math.Float64bits(got) != math.Float64bits(want) {
+			t.Fatalf("draw %d: %v composed vs %v ExpUnit", i, got, want)
+		}
+	}
+}
+
+// FillExp must be exactly ExpUnit()/rate in sequence.
+func TestFillExpMatchesExpUnit(t *testing.T) {
+	a, b := New(31), New(31)
+	dst := make([]float64, 1000)
+	a.FillExp(dst, 4)
+	inv := 1 / 4.0
+	for i, v := range dst {
+		want := b.ExpUnit() * inv
+		if math.Float64bits(v) != math.Float64bits(want) {
+			t.Fatalf("gap %d: %v FillExp vs %v ExpUnit/rate", i, v, want)
+		}
+		if !(v > 0) {
+			t.Fatalf("gap %d not positive: %v", i, v)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("rate <= 0 not rejected")
+		}
+	}()
+	a.FillExp(dst, 0)
+}
+
+// The ziggurat tables must close: the recurrence ends at zero width with
+// total mass 1.
+func TestZigguratTablesClose(t *testing.T) {
+	if zigX[256] != 0 {
+		t.Errorf("zigX[256] = %v", zigX[256])
+	}
+	if zigY[256] != 1 {
+		t.Errorf("zigY[256] = %v", zigY[256])
+	}
+	// Closure: the top layer's area matches the common layer area v.
+	if top := zigX[255] * (zigY[256] - zigY[255]); math.Abs(top-zigV)/zigV > 1e-6 {
+		t.Errorf("top layer area %v, want ~%v", top, zigV)
+	}
+	for i := 0; i < 256; i++ {
+		if zigX[i+1] >= zigX[i] {
+			t.Fatalf("zigX not strictly decreasing at %d: %v >= %v", i, zigX[i+1], zigX[i])
+		}
+	}
 }

@@ -9,14 +9,18 @@ import (
 
 // globalScheduler superposes all edge clocks into one Poisson stream at the
 // total rate; each event picks an edge with probability proportional to its
-// rate. Uniform rates use a constant-time fast path.
+// rate. Uniform rates use a constant-time Lemire pick; heterogeneous rates
+// use a Walker alias table — also O(1) per event, replacing the former
+// per-event binary search (the cdfSampler below, kept as the reference
+// implementation the tests cross-check against).
 type globalScheduler struct {
 	r         *rng.RNG
 	totalRate float64
+	invTotal  float64
 	now       float64
 	uniform   bool
 	numEdges  int
-	cumRates  []float64 // prefix sums when not uniform
+	alias     *aliasTable // nil when uniform
 }
 
 func newGlobalScheduler(rates []float64, r *rng.RNG) *globalScheduler {
@@ -29,38 +33,136 @@ func newGlobalScheduler(rates []float64, r *rng.RNG) *globalScheduler {
 	}
 	if s.uniform {
 		s.totalRate = rates[0] * float64(len(rates))
-		return s
+	} else {
+		s.alias = newAliasTable(rates)
+		for _, rate := range rates {
+			s.totalRate += rate
+		}
 	}
-	s.cumRates = make([]float64, len(rates))
-	acc := 0.0
-	for i, rate := range rates {
-		acc += rate
-		s.cumRates[i] = acc
-	}
-	s.totalRate = acc
+	s.invTotal = 1 / s.totalRate
 	return s
 }
 
 func (s *globalScheduler) next() (graph.EdgeID, float64) {
-	s.now += s.r.ExpFloat64(s.totalRate)
+	s.now += s.r.ExpUnit() * s.invTotal
 	if s.uniform {
 		return graph.EdgeID(s.r.Intn(s.numEdges)), s.now
 	}
-	target := s.r.Float64() * s.totalRate
-	idx := sort.SearchFloat64s(s.cumRates, target)
-	if idx >= len(s.cumRates) {
-		idx = len(s.cumRates) - 1
+	return graph.EdgeID(s.alias.pick(s.r)), s.now
+}
+
+// aliasTable is a Walker/Vose alias table over a fixed weight vector:
+// construction is O(n), each pick is O(1) — one uniform slot, one coin.
+type aliasTable struct {
+	prob  []float64 // acceptance threshold of the home slot, in [0, 1]
+	alias []int32   // donor index taken when the coin exceeds prob
+}
+
+// newAliasTable builds the table by Vose's stable two-stack method. Weights
+// must be positive (the schedulers validate rates before reaching here).
+func newAliasTable(weights []float64) *aliasTable {
+	n := len(weights)
+	t := &aliasTable{prob: make([]float64, n), alias: make([]int32, n)}
+	total := 0.0
+	for _, w := range weights {
+		total += w
 	}
-	return graph.EdgeID(idx), s.now
+	// Scale each weight so the average bucket holds exactly 1.
+	scaled := make([]float64, n)
+	small := make([]int32, 0, n)
+	large := make([]int32, 0, n)
+	for i, w := range weights {
+		scaled[i] = w * float64(n) / total
+		if scaled[i] < 1 {
+			small = append(small, int32(i))
+		} else {
+			large = append(large, int32(i))
+		}
+	}
+	for len(small) > 0 && len(large) > 0 {
+		s := small[len(small)-1]
+		small = small[:len(small)-1]
+		l := large[len(large)-1]
+		large = large[:len(large)-1]
+		t.prob[s] = scaled[s]
+		t.alias[s] = l
+		scaled[l] -= 1 - scaled[s]
+		if scaled[l] < 1 {
+			small = append(small, l)
+		} else {
+			large = append(large, l)
+		}
+	}
+	// Leftovers are exactly 1 up to float rounding.
+	for _, i := range large {
+		t.prob[i] = 1
+		t.alias[i] = i
+	}
+	for _, i := range small {
+		t.prob[i] = 1
+		t.alias[i] = i
+	}
+	return t
+}
+
+// pick returns an index distributed proportionally to the table's weights.
+func (t *aliasTable) pick(r *rng.RNG) int32 {
+	i := int32(r.Intn(len(t.prob)))
+	if r.Float64() < t.prob[i] {
+		return i
+	}
+	return t.alias[i]
+}
+
+// impliedProb returns the exact probability the table assigns to index i —
+// used by tests to verify the construction against the input weights.
+func (t *aliasTable) impliedProb(i int32) float64 {
+	n := float64(len(t.prob))
+	p := t.prob[i]
+	for j, a := range t.alias {
+		if a == i && int32(j) != i {
+			p += 1 - t.prob[j]
+		}
+	}
+	return p / n
+}
+
+// cdfSampler is the pre-alias prefix-sum sampler (O(log n) binary search
+// per pick). It is retained as the reference implementation: the package
+// tests cross-check the alias table's edge-frequency distribution against
+// it on identical weight vectors.
+type cdfSampler struct {
+	cum   []float64
+	total float64
+}
+
+func newCDFSampler(rates []float64) *cdfSampler {
+	c := &cdfSampler{cum: make([]float64, len(rates))}
+	acc := 0.0
+	for i, rate := range rates {
+		acc += rate
+		c.cum[i] = acc
+	}
+	c.total = acc
+	return c
+}
+
+func (c *cdfSampler) pick(r *rng.RNG) int32 {
+	target := r.Float64() * c.total
+	idx := sort.SearchFloat64s(c.cum, target)
+	if idx >= len(c.cum) {
+		idx = len(c.cum) - 1
+	}
+	return int32(idx)
 }
 
 // heapScheduler keeps one exponential timer per edge in a binary min-heap —
 // the paper's model verbatim. After an edge fires, its next tick is
 // resampled, exploiting the memorylessness of the exponential distribution.
 type heapScheduler struct {
-	r     *rng.RNG
-	rates []float64
-	heap  []heapEntry
+	r        *rng.RNG
+	invRates []float64 // 1/rate per edge: resampling multiplies, never divides
+	heap     []heapEntry
 }
 
 type heapEntry struct {
@@ -69,9 +171,15 @@ type heapEntry struct {
 }
 
 func newHeapScheduler(rates []float64, r *rng.RNG) *heapScheduler {
-	s := &heapScheduler{r: r, rates: rates, heap: make([]heapEntry, 0, len(rates))}
+	s := &heapScheduler{r: r, invRates: make([]float64, len(rates)), heap: make([]heapEntry, 0, len(rates))}
 	for e, rate := range rates {
-		s.push(heapEntry{at: r.ExpFloat64(rate), edge: graph.EdgeID(e)})
+		s.invRates[e] = 1 / rate
+	}
+	// Batched unit gaps, scaled per edge below.
+	gaps := make([]float64, len(rates))
+	r.FillExp(gaps, 1)
+	for e := range rates {
+		s.push(heapEntry{at: gaps[e] * s.invRates[e], edge: graph.EdgeID(e)})
 	}
 	return s
 }
@@ -79,7 +187,7 @@ func newHeapScheduler(rates []float64, r *rng.RNG) *heapScheduler {
 func (s *heapScheduler) next() (graph.EdgeID, float64) {
 	top := s.heap[0]
 	// Resample this edge's next tick and sift it down from the root.
-	s.heap[0] = heapEntry{at: top.at + s.r.ExpFloat64(s.rates[top.edge]), edge: top.edge}
+	s.heap[0] = heapEntry{at: top.at + s.r.ExpUnit()*s.invRates[top.edge], edge: top.edge}
 	s.siftDown(0)
 	return top.edge, top.at
 }

@@ -85,6 +85,12 @@ func (k SchedulerKind) String() string {
 }
 
 // Engine drives a Handler with Poisson edge ticks on a fixed graph.
+//
+// Run is the general loop (any Handler, observers, arbitrary stop
+// conditions). When the handler also implements TickKernel and no
+// observers are registered, RunEvents, RunUntil and RunTracked take a
+// fused batch path with identical semantics and random-stream consumption
+// — see kernel.go.
 type Engine struct {
 	g         *graph.Graph
 	handler   Handler
@@ -92,6 +98,10 @@ type Engine struct {
 	observers []Observer
 	now       float64
 	events    int64
+
+	// Scratch for the fused kernel path, allocated once on first use.
+	batchE []graph.EdgeID
+	batchT []float64
 }
 
 // Option configures NewEngine.

@@ -284,3 +284,235 @@ func TestGraphAccessor(t *testing.T) {
 		t.Error("Graph() returned wrong graph")
 	}
 }
+
+// --- alias sampler and fused kernel tests ---
+
+// The alias table must encode the input weights exactly: the probability
+// implied by the table construction equals rate/total to float precision.
+func TestAliasTableImpliedProbabilities(t *testing.T) {
+	rates := []float64{0.1, 2, 0.5, 1, 1, 3.7, 0.01, 5}
+	total := 0.0
+	for _, r := range rates {
+		total += r
+	}
+	tab := newAliasTable(rates)
+	for i, r := range rates {
+		want := r / total
+		got := tab.impliedProb(int32(i))
+		if math.Abs(got-want) > 1e-12 {
+			t.Errorf("implied P(%d) = %v, want %v", i, got, want)
+		}
+	}
+}
+
+// Seeded statistical cross-check: the alias sampler and the retained
+// binary-search cdfSampler must realise the same edge-frequency
+// distribution on an identical heterogeneous weight vector.
+func TestAliasMatchesCDFSampler(t *testing.T) {
+	rates := []float64{1, 4, 0.25, 2, 2, 8, 0.5, 1, 1, 3}
+	total := 0.0
+	for _, r := range rates {
+		total += r
+	}
+	const n = 400000
+	tab := newAliasTable(rates)
+	cdf := newCDFSampler(rates)
+	countA := make([]float64, len(rates))
+	countC := make([]float64, len(rates))
+	ra, rc := rng.New(11), rng.New(12)
+	for i := 0; i < n; i++ {
+		countA[tab.pick(ra)]++
+		countC[cdf.pick(rc)]++
+	}
+	for i, rate := range rates {
+		p := rate / total
+		sigma := math.Sqrt(float64(n) * p * (1 - p))
+		if d := math.Abs(countA[i] - float64(n)*p); d > 5*sigma {
+			t.Errorf("alias: edge %d count %v off expectation %v by %.1f sigma", i, countA[i], float64(n)*p, d/sigma)
+		}
+		if d := math.Abs(countC[i] - float64(n)*p); d > 5*sigma {
+			t.Errorf("cdf: edge %d count %v off expectation %v by %.1f sigma", i, countC[i], float64(n)*p, d/sigma)
+		}
+		// Alias vs cdf directly (independent streams: combined variance).
+		if d := math.Abs(countA[i] - countC[i]); d > 5*math.Sqrt2*sigma {
+			t.Errorf("alias vs cdf: edge %d counts %v vs %v differ by %.1f sigma", i, countA[i], countC[i], d/(math.Sqrt2*sigma))
+		}
+	}
+}
+
+// GlobalClock (alias path), PerEdgeClocks and the analytic expectation must
+// agree on mean per-edge tick counts under heterogeneous rates.
+func TestSchedulerTickCountAgreement(t *testing.T) {
+	g := graph.Complete(5) // 10 edges
+	rates := make([]float64, g.NumEdges())
+	for i := range rates {
+		rates[i] = 0.5 + 0.4*float64(i) // heterogeneous: forces the alias path
+	}
+	const horizon = 3000.0
+	counts := map[SchedulerKind][]int64{}
+	for _, kind := range []SchedulerKind{GlobalClock, PerEdgeClocks} {
+		h := newCounter(g)
+		eng, err := NewEngine(g, h, WithScheduler(kind), WithRates(rates), WithSeed(21))
+		if err != nil {
+			t.Fatal(err)
+		}
+		eng.Run(Until(horizon))
+		counts[kind] = h.perEdge
+	}
+	for e, rate := range rates {
+		want := rate * horizon
+		sigma := math.Sqrt(want)
+		for kind, c := range counts {
+			if d := math.Abs(float64(c[e]) - want); d > 5*sigma {
+				t.Errorf("%v: edge %d ticked %d times, want ~%v (%.1f sigma)", kind, e, c[e], want, d/sigma)
+			}
+		}
+	}
+}
+
+// recordingKernel implements both Handler and TickKernel, recording every
+// (edge, time) it sees, so the fused loops can be compared bit-for-bit
+// against the generic Run loop.
+type recordingKernel struct {
+	edges []graph.EdgeID
+	times []float64
+}
+
+func (k *recordingKernel) HandleTick(e graph.EdgeID, t float64) {
+	k.edges = append(k.edges, e)
+	k.times = append(k.times, t)
+}
+
+func (k *recordingKernel) TickEdges(edges []graph.EdgeID, times []float64) {
+	k.edges = append(k.edges, edges...)
+	k.times = append(k.times, times...)
+}
+
+func (k *recordingKernel) TickEdgeVar(e graph.EdgeID, t float64) float64 {
+	k.HandleTick(e, t)
+	return 0
+}
+
+func (k *recordingKernel) Variance() float64 { return 0 }
+
+func runPair(t *testing.T, kind SchedulerKind, seed uint64) (legacy, fused *recordingKernel, engL, engF *Engine) {
+	t.Helper()
+	g, _, err2 := graph.Dumbbell(12, 12, 2)
+	if err2 != nil {
+		t.Fatal(err2)
+	}
+	legacy, fused = &recordingKernel{}, &recordingKernel{}
+	var err error
+	engL, err = NewEngine(g, HandlerFunc(legacy.HandleTick), WithScheduler(kind), WithSeed(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	engF, err = NewEngine(g, fused, WithScheduler(kind), WithSeed(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return legacy, fused, engL, engF
+}
+
+// The fused RunEvents must produce the identical event sequence (edges and
+// times, bit for bit) as the generic Run loop, on both schedulers.
+func TestRunEventsBitIdenticalToRun(t *testing.T) {
+	for _, kind := range []SchedulerKind{GlobalClock, PerEdgeClocks} {
+		legacy, fused, engL, engF := runPair(t, kind, 99)
+		const n = 5000
+		tL, evL := engL.Run(MaxEvents(n))
+		tF, evF := engF.RunEvents(n)
+		if tL != tF || evL != evF {
+			t.Fatalf("%v: (t, events) = (%v, %d) generic vs (%v, %d) fused", kind, tL, evL, tF, evF)
+		}
+		compareRecordings(t, kind.String(), legacy, fused)
+	}
+}
+
+// Same for RunUntil vs Run(Until(maxT)).
+func TestRunUntilBitIdenticalToRun(t *testing.T) {
+	for _, kind := range []SchedulerKind{GlobalClock, PerEdgeClocks} {
+		legacy, fused, engL, engF := runPair(t, kind, 7)
+		const horizon = 3.5
+		tL, evL := engL.Run(Until(horizon))
+		tF, evF := engF.RunUntil(horizon)
+		if tL != tF || evL != evF {
+			t.Fatalf("%v: (t, events) = (%v, %d) generic vs (%v, %d) fused", kind, tL, evL, tF, evF)
+		}
+		compareRecordings(t, kind.String(), legacy, fused)
+	}
+}
+
+func compareRecordings(t *testing.T, label string, a, b *recordingKernel) {
+	t.Helper()
+	if len(a.edges) != len(b.edges) {
+		t.Fatalf("%s: %d events generic vs %d fused", label, len(a.edges), len(b.edges))
+	}
+	for i := range a.edges {
+		if a.edges[i] != b.edges[i] || a.times[i] != b.times[i] {
+			t.Fatalf("%s: event %d diverged: (%d, %v) vs (%d, %v)",
+				label, i, a.edges[i], a.times[i], b.edges[i], b.times[i])
+		}
+	}
+}
+
+// An engine with observers must not take the kernel fast path (observers
+// would be skipped); RunEvents falls back to the generic loop.
+func TestRunEventsRespectsObservers(t *testing.T) {
+	g := graph.Complete(4)
+	k := &recordingKernel{}
+	calls := 0
+	eng, err := NewEngine(g, k, WithObserver(func(float64, int64) { calls++ }))
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.RunEvents(50)
+	if calls != 50 {
+		t.Errorf("observer called %d times, want 50", calls)
+	}
+	// RunTracked has no generic fallback: with observers present it must
+	// refuse rather than silently skip them.
+	if _, ok := eng.RunTracked(Tracked{StopLevel: -1, MaxTime: 1}); ok {
+		t.Error("RunTracked took the fast path despite observers")
+	}
+}
+
+// RunTracked must replicate the estimator's stop rule: it stops once the
+// variance is below StopLevel and the quiet period has passed, and censors
+// at MaxTime.
+func TestRunTrackedStops(t *testing.T) {
+	g := graph.Complete(4)
+	k := &recordingKernel{} // variance constant 0: below any positive stop level
+	eng, err := NewEngine(g, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, ok := eng.RunTracked(Tracked{ExceedLevel: 1, StopLevel: 0.5, Quiet: 2, MaxTime: 1e6})
+	if !ok {
+		t.Fatal("kernel handler rejected by RunTracked")
+	}
+	if res.Censored {
+		t.Error("censored despite variance below stop level")
+	}
+	if res.LastExceed != 0 {
+		t.Errorf("last exceedance %v, want 0", res.LastExceed)
+	}
+	if eng.Now() < 2 {
+		t.Errorf("stopped at t=%v before the quiet period", eng.Now())
+	}
+	// Censoring: unreachable stop level, tiny horizon.
+	eng2, err := NewEngine(g, k, WithSeed(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res2, ok := eng2.RunTracked(Tracked{ExceedLevel: -1, StopLevel: -1, Quiet: 0, MaxTime: 0.5})
+	if !ok {
+		t.Fatal("kernel handler rejected by RunTracked")
+	}
+	if !res2.Censored {
+		t.Error("not censored at MaxTime with unreachable stop level")
+	}
+	if res2.LastExceed <= 0 {
+		t.Error("exceedances (variance 0 > level -1) not recorded")
+	}
+}

@@ -208,7 +208,9 @@ func Simulate(g *Graph, alg Algorithm, until float64, seed uint64) SimResult {
 	if err != nil {
 		panic(fmt.Sprintf("sparsecut: Simulate: %v", err))
 	}
-	t, events := eng.Run(sim.Until(until))
+	// RunUntil takes the fused kernel fast path for the built-in algorithms
+	// and falls back to the generic loop for custom handlers.
+	t, events := eng.RunUntil(until)
 	res := SimResult{
 		Time:     t,
 		Events:   events,
