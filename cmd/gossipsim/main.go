@@ -1,11 +1,13 @@
 // Command gossipsim runs one gossip-averaging simulation and reports the
-// variance trajectory and final state.
+// variance trajectory and final state. Every graph family in the scenario
+// registry is available (see -families for the catalogue).
 //
 // Usage:
 //
 //	gossipsim -graph dumbbell -n 128 -cut 1 -algo A     -until 50
 //	gossipsim -graph planted  -n 100 -algo vanilla      -until 200 -csv
-//	gossipsim -graph sensor   -n 150 -cut 2 -algo A     -until 100
+//	gossipsim -graph ringofcliques -n 64 -blocks 8 -algo A -until 100
+//	gossipsim -graph hypercube -dim 7 -algo pushsum     -until 30
 //	gossipsim -algo convex -alpha 0.8 ...
 //
 // With -csv the sampled trajectory is written to stdout as
@@ -17,41 +19,80 @@ import (
 	"fmt"
 	"os"
 
-	"sparsecut"
+	"sparsecut/internal/scenario"
 	"sparsecut/internal/sim"
 	"sparsecut/internal/trace"
 )
 
 func main() {
 	var (
-		graphKind = flag.String("graph", "dumbbell", "graph family: dumbbell | planted | sensor")
+		graphKind = flag.String("graph", "dumbbell", "graph family (see -families)")
 		n         = flag.Int("n", 128, "total number of nodes")
-		cutEdges  = flag.Int("cut", 1, "cut edges (dumbbell) or doors (sensor)")
+		cutEdges  = flag.Int("cut", 0, "cut edges / doors / bridges (0 = family default)")
 		algo      = flag.String("algo", "A", "algorithm: A | vanilla | convex | pushsum")
 		alpha     = flag.Float64("alpha", 0.5, "mixing parameter for -algo convex")
 		until     = flag.Float64("until", 50, "simulated time horizon")
 		seed      = flag.Uint64("seed", 1, "random seed")
 		csv       = flag.Bool("csv", false, "emit the sampled variance trajectory as CSV")
+		initKind  = flag.String("init", "", "initial vector: worstcase|spike|random|gaussian|linear")
+		rateKind  = flag.String("rates", "", "clock-rate model: uniform|nodeclock|random")
+		list      = flag.Bool("families", false, "list the graph-family registry and exit")
+
+		// Family-specific shape parameters.
+		n1       = flag.Int("n1", 0, "side-1 size (two-sided families)")
+		n2       = flag.Int("n2", 0, "side-2 size (two-sided families)")
+		innerCut = flag.Int("innercut", 0, "hierdumbbell inner cut width")
+		rows     = flag.Int("rows", 0, "grid/torus rows")
+		cols     = flag.Int("cols", 0, "grid/torus cols")
+		dim      = flag.Int("dim", 0, "hypercube dimension")
+		levels   = flag.Int("levels", 0, "binary-tree levels")
+		tail     = flag.Int("tail", 0, "lollipop tail length")
+		blocks   = flag.Int("blocks", 0, "ring-of-cliques block count")
+		degree   = flag.Int("degree", 0, "random-regular degree")
+		p        = flag.Float64("p", 0, "G(n,p) edge probability")
+		pIn      = flag.Float64("pin", 0, "planted within-side density")
+		pOut     = flag.Float64("pout", 0, "planted cross-side density")
+		radius   = flag.Float64("radius", 0, "RGG/sensor radius multiplier")
 	)
 	flag.Parse()
 
-	g, part, err := buildGraph(*graphKind, *n, *cutEdges, *seed)
+	if *list {
+		fmt.Print(scenario.Usage())
+		return
+	}
+
+	spec := scenario.Spec{
+		Graph: scenario.GraphSpec{
+			Family: *graphKind, N: *n, N1: *n1, N2: *n2, Cut: *cutEdges,
+			InnerCut: *innerCut, Rows: *rows, Cols: *cols, Dim: *dim,
+			Levels: *levels, Tail: *tail, Blocks: *blocks, Degree: *degree,
+			P: *p, PIn: *pIn, POut: *pOut, Radius: *radius,
+		},
+		Algo:  scenario.AlgoSpec{Name: *algo, Alpha: *alpha},
+		Init:  *initKind,
+		Rates: *rateKind,
+		Seed:  *seed,
+	}
+	res, err := spec.Resolve()
 	if err != nil {
 		fatal(err)
 	}
-	x0 := sparsecut.WorstCaseInit(part)
-	alg, err := buildAlgorithm(*algo, g, part, x0, *alpha, *seed)
+	alg, err := res.NewAlgorithm(res.AlgorithmRNG())
 	if err != nil {
 		fatal(err)
 	}
 
 	var0 := alg.Variance()
-	rec, err := trace.NewSampledRecorder(alg.Name(), int64(g.NumEdges()/4+1))
+	rec, err := trace.NewSampledRecorder(alg.Name(), int64(res.Graph.NumEdges()/4+1))
 	if err != nil {
 		fatal(err)
 	}
-	eng, err := sim.NewEngine(g, alg, sim.WithSeed(*seed),
-		sim.WithObserver(func(t float64, _ int64) { rec.Record(t, alg.Variance()/var0) }))
+	opts := []sim.Option{sim.WithSeed(*seed),
+		sim.WithObserver(func(t float64, _ int64) { rec.Record(t, alg.Variance()/var0) })}
+	if res.Rates != nil {
+		opts = append(opts, sim.WithRates(res.Rates))
+	}
+	eng, err := sim.NewEngine(res.Graph, alg, opts...)
 	if err != nil {
 		fatal(err)
 	}
@@ -67,41 +108,16 @@ func main() {
 		}
 		return
 	}
-	fmt.Printf("graph:      %s\n", g)
-	fmt.Printf("partition:  %s\n", part)
+	fmt.Printf("graph:      %s\n", res.Graph)
+	if res.Partition != nil {
+		fmt.Printf("partition:  %s\n", res.Partition)
+	} else {
+		fmt.Printf("partition:  (none planted)\n")
+	}
 	fmt.Printf("algorithm:  %s\n", alg.Name())
 	fmt.Printf("simulated:  t=%.4g (%d events)\n", t, events)
 	fmt.Printf("mean:       %.6g\n", alg.Mean())
 	fmt.Printf("var ratio:  %.6g\n", alg.Variance()/var0)
-}
-
-func buildGraph(kind string, n, cutEdges int, seed uint64) (*sparsecut.Graph, *sparsecut.Partition, error) {
-	switch kind {
-	case "dumbbell":
-		return sparsecut.NewDumbbell(n/2, n-n/2, cutEdges)
-	case "planted":
-		pOut := 3.0 / float64(n*n/4)
-		return sparsecut.NewPlantedPartition(seed, n/2, n-n/2, 0.5, pOut)
-	case "sensor":
-		return sparsecut.NewSensorField(seed, n, cutEdges)
-	default:
-		return nil, nil, fmt.Errorf("unknown graph family %q", kind)
-	}
-}
-
-func buildAlgorithm(name string, g *sparsecut.Graph, part *sparsecut.Partition, x0 []float64, alpha float64, seed uint64) (sparsecut.Algorithm, error) {
-	switch name {
-	case "A":
-		return sparsecut.NewAlgorithmA(g, x0, sparsecut.WithPartition(part))
-	case "vanilla":
-		return sparsecut.NewVanillaGossip(g, x0)
-	case "convex":
-		return sparsecut.NewConvexGossip(g, x0, alpha)
-	case "pushsum":
-		return sparsecut.NewPushSum(g, x0, seed)
-	default:
-		return nil, fmt.Errorf("unknown algorithm %q", name)
-	}
 }
 
 func fatal(err error) {

@@ -1,12 +1,14 @@
-// Command graphgen generates the repository's graph families, reports
-// their sparse-cut statistics (conductance, λ2, Theorem 1 bound) and
-// optionally exports them as edge lists or Graphviz DOT.
+// Command graphgen generates any graph family in the scenario registry,
+// reports its sparse-cut statistics (conductance, λ2, Theorem 1 bound)
+// and optionally exports it as an edge list or Graphviz DOT.
 //
 // Usage:
 //
 //	graphgen -type dumbbell -n 64 -cut 1
 //	graphgen -type sensor   -n 120 -cut 2 -dot > field.dot
-//	graphgen -type planted  -n 80 -edgelist > g.txt
+//	graphgen -type hierdumbbell -n 64 -innercut 2 -edgelist > g.txt
+//	graphgen -type torus    -rows 8 -cols 8
+//	graphgen -families
 package main
 
 import (
@@ -15,37 +17,56 @@ import (
 	"os"
 
 	"sparsecut"
+	"sparsecut/internal/scenario"
 )
 
 func main() {
 	var (
-		kind     = flag.String("type", "dumbbell", "graph family: dumbbell | planted | sensor")
+		kind     = flag.String("type", "dumbbell", "graph family (see -families)")
 		n        = flag.Int("n", 64, "total number of nodes")
-		cutEdges = flag.Int("cut", 1, "cut edges (dumbbell) or doors (sensor)")
+		cutEdges = flag.Int("cut", 0, "cut edges / doors / bridges (0 = family default)")
 		seed     = flag.Uint64("seed", 1, "random seed")
 		dot      = flag.Bool("dot", false, "write Graphviz DOT to stdout")
 		edgelist = flag.Bool("edgelist", false, "write edge list to stdout")
+		list     = flag.Bool("families", false, "list the graph-family registry and exit")
+
+		n1       = flag.Int("n1", 0, "side-1 size (two-sided families)")
+		n2       = flag.Int("n2", 0, "side-2 size (two-sided families)")
+		innerCut = flag.Int("innercut", 0, "hierdumbbell inner cut width")
+		rows     = flag.Int("rows", 0, "grid/torus rows")
+		cols     = flag.Int("cols", 0, "grid/torus cols")
+		dim      = flag.Int("dim", 0, "hypercube dimension")
+		levels   = flag.Int("levels", 0, "binary-tree levels")
+		tail     = flag.Int("tail", 0, "lollipop tail length")
+		blocks   = flag.Int("blocks", 0, "ring-of-cliques block count")
+		degree   = flag.Int("degree", 0, "random-regular degree")
+		p        = flag.Float64("p", 0, "G(n,p) edge probability")
+		pIn      = flag.Float64("pin", 0, "planted within-side density")
+		pOut     = flag.Float64("pout", 0, "planted cross-side density")
+		radius   = flag.Float64("radius", 0, "RGG/sensor radius multiplier")
 	)
 	flag.Parse()
 
-	var (
-		g    *sparsecut.Graph
-		part *sparsecut.Partition
-		err  error
-	)
-	switch *kind {
-	case "dumbbell":
-		g, part, err = sparsecut.NewDumbbell(*n/2, *n-*n/2, *cutEdges)
-	case "planted":
-		g, part, err = sparsecut.NewPlantedPartition(*seed, *n/2, *n-*n/2, 0.5, 3.0/float64(*n**n/4))
-	case "sensor":
-		g, part, err = sparsecut.NewSensorField(*seed, *n, *cutEdges)
-	default:
-		err = fmt.Errorf("unknown graph family %q", *kind)
+	if *list {
+		fmt.Print(scenario.Usage())
+		return
 	}
+
+	spec := scenario.Spec{
+		Graph: scenario.GraphSpec{
+			Family: *kind, N: *n, N1: *n1, N2: *n2, Cut: *cutEdges,
+			InnerCut: *innerCut, Rows: *rows, Cols: *cols, Dim: *dim,
+			Levels: *levels, Tail: *tail, Blocks: *blocks, Degree: *degree,
+			P: *p, PIn: *pIn, POut: *pOut, Radius: *radius,
+		},
+		Init: "spike", // skip worst-case cut detection: only the graph is needed
+		Seed: *seed,
+	}
+	res, err := spec.Resolve()
 	if err != nil {
 		fatal(err)
 	}
+	g, part := res.Graph, res.Partition
 
 	switch {
 	case *dot:
@@ -66,10 +87,18 @@ func main() {
 			fatal(err)
 		}
 		fmt.Printf("graph:               %s\n", g)
-		fmt.Printf("planted partition:   %s\n", part)
+		if part != nil {
+			fmt.Printf("planted partition:   %s\n", part)
+		} else {
+			fmt.Printf("planted partition:   (none)\n")
+		}
 		fmt.Printf("detected partition:  %s\n", detected)
 		fmt.Printf("lambda2:             %.6g (Tvan bound 6/lambda2 = %.4g)\n", lam2, 6/lam2)
-		fmt.Printf("theorem 1 bound:     min(n1,n2)/|E12| = %.4g\n", part.TheoremOneBound())
+		if part != nil {
+			fmt.Printf("theorem 1 bound:     min(n1,n2)/|E12| = %.4g\n", part.TheoremOneBound())
+		} else {
+			fmt.Printf("theorem 1 bound:     min(n1,n2)/|E12| = %.4g (detected cut)\n", detected.TheoremOneBound())
+		}
 	}
 }
 

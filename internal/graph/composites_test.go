@@ -1,0 +1,107 @@
+package graph
+
+import "testing"
+
+func TestRingOfCliques(t *testing.T) {
+	g, part, err := RingOfCliques(4, 5, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes() != 20 {
+		t.Fatalf("nodes = %d, want 20", g.NumNodes())
+	}
+	// 4 cliques of C(5,2)=10 edges + 4 joints of 2 bridges.
+	if want := 4*10 + 4*2; g.NumEdges() != want {
+		t.Fatalf("edges = %d, want %d", g.NumEdges(), want)
+	}
+	if !IsConnected(g) {
+		t.Fatal("ring of cliques not connected")
+	}
+	if part.Size1() != 10 || part.Size2() != 10 {
+		t.Fatalf("partition sizes %d/%d, want 10/10", part.Size1(), part.Size2())
+	}
+	// The two contiguous arcs meet at two joints: cut = 2*bridges.
+	if part.CutSize() != 4 {
+		t.Fatalf("cut size = %d, want 4", part.CutSize())
+	}
+	if !SidesInternallyConnected(part) {
+		t.Fatal("ring-of-cliques sides not internally connected")
+	}
+}
+
+func TestRingOfCliquesSingletonBlocks(t *testing.T) {
+	// m=1 degenerates to the cycle C_blocks.
+	g, _, err := RingOfCliques(6, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes() != 6 || g.NumEdges() != 6 {
+		t.Fatalf("got %d nodes / %d edges, want 6/6", g.NumNodes(), g.NumEdges())
+	}
+	for u := 0; u < 6; u++ {
+		if g.Degree(NodeID(u)) != 2 {
+			t.Fatalf("node %d degree %d, want 2", u, g.Degree(NodeID(u)))
+		}
+	}
+}
+
+func TestRingOfCliquesValidation(t *testing.T) {
+	cases := [][3]int{{2, 4, 1}, {3, 0, 1}, {3, 4, 0}, {3, 4, 5}}
+	for _, c := range cases {
+		if _, _, err := RingOfCliques(c[0], c[1], c[2]); err == nil {
+			t.Errorf("RingOfCliques(%d,%d,%d): expected error", c[0], c[1], c[2])
+		}
+	}
+}
+
+func TestHierarchicalDumbbell(t *testing.T) {
+	g, part, err := HierarchicalDumbbell(16, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes() != 16 {
+		t.Fatalf("nodes = %d, want 16", g.NumNodes())
+	}
+	// Four K_4 cliques (6 edges each) + 2 inner cuts + 1 outer cut.
+	if want := 4*6 + 2 + 1; g.NumEdges() != want {
+		t.Fatalf("edges = %d, want %d", g.NumEdges(), want)
+	}
+	if !IsConnected(g) {
+		t.Fatal("hierarchical dumbbell not connected")
+	}
+	// The planted partition is the outer cut.
+	if part.CutSize() != 1 {
+		t.Fatalf("outer cut size = %d, want 1", part.CutSize())
+	}
+	if part.Size1() != 8 || part.Size2() != 8 {
+		t.Fatalf("partition sizes %d/%d, want 8/8", part.Size1(), part.Size2())
+	}
+	if !SidesInternallyConnected(part) {
+		t.Fatal("hierarchical dumbbell sides not internally connected")
+	}
+}
+
+func TestHierarchicalDumbbellOddSizes(t *testing.T) {
+	g, part, err := HierarchicalDumbbell(19, 2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes() != 19 {
+		t.Fatalf("nodes = %d, want 19", g.NumNodes())
+	}
+	if part.CutSize() != 3 {
+		t.Fatalf("outer cut = %d, want 3", part.CutSize())
+	}
+	if !SidesInternallyConnected(part) {
+		t.Fatal("sides not internally connected")
+	}
+}
+
+func TestHierarchicalDumbbellValidation(t *testing.T) {
+	cases := [][3]int{{7, 1, 1}, {16, 0, 1}, {16, 5, 1}, {16, 1, 0}, {16, 1, 9}}
+	for _, c := range cases {
+		if _, _, err := HierarchicalDumbbell(c[0], c[1], c[2]); err == nil {
+			t.Errorf("HierarchicalDumbbell(%d,%d,%d): expected error", c[0], c[1], c[2])
+		}
+	}
+}

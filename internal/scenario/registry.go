@@ -1,0 +1,336 @@
+package scenario
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"sparsecut/internal/graph"
+	"sparsecut/internal/rng"
+)
+
+// Family is one registry entry: a named graph generator with its
+// parameter conventions.
+type Family struct {
+	// Name is the canonical spelling used in specs and flags.
+	Name string
+	// Aliases are accepted alternative spellings.
+	Aliases []string
+	// Brief is a one-line description for CLI usage text.
+	Brief string
+	// Params summarises which GraphSpec fields the family reads.
+	Params string
+	// Partitioned reports whether Build returns a planted sparse-cut
+	// partition (nil otherwise; consumers fall back to detection).
+	Partitioned bool
+	// Random reports whether Build consumes randomness.
+	Random bool
+	// Defaults fills family-specific GraphSpec defaults in place. The
+	// family-independent defaults (N etc.) are already applied.
+	Defaults func(*GraphSpec)
+	// Build constructs the graph (and partition when Partitioned). The RNG
+	// is only consumed by Random families.
+	Build func(GraphSpec, *rng.RNG) (*graph.Graph, *graph.Partition, error)
+}
+
+// registry maps every name and alias to its family.
+var registry = map[string]*Family{}
+var families []*Family
+
+func register(f Family) {
+	fp := &f
+	families = append(families, fp)
+	for _, name := range append([]string{f.Name}, f.Aliases...) {
+		key := strings.ToLower(name)
+		if _, dup := registry[key]; dup {
+			panic("scenario: duplicate family name " + key)
+		}
+		registry[key] = fp
+	}
+}
+
+// Lookup finds a family by name or alias (case-insensitive).
+func Lookup(name string) (*Family, bool) {
+	f, ok := registry[strings.ToLower(strings.TrimSpace(name))]
+	return f, ok
+}
+
+// Families returns the catalogue sorted by canonical name.
+func Families() []Family {
+	out := make([]Family, len(families))
+	for i, f := range families {
+		out[i] = *f
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// FamilyNames returns the sorted canonical names, for usage strings.
+func FamilyNames() []string {
+	fams := Families()
+	names := make([]string, len(fams))
+	for i, f := range fams {
+		names[i] = f.Name
+	}
+	return names
+}
+
+// Usage renders a multi-line catalogue of families for CLI help output.
+func Usage() string {
+	var b strings.Builder
+	for _, f := range Families() {
+		fmt.Fprintf(&b, "  %-15s %s", f.Name, f.Brief)
+		if f.Params != "" {
+			fmt.Fprintf(&b, " (params: %s)", f.Params)
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// sideSplit fills N1/N2 from N (and vice versa) for two-sided families.
+func sideSplit(gs *GraphSpec) {
+	if gs.N1 == 0 {
+		gs.N1 = gs.N / 2
+	}
+	if gs.N2 == 0 {
+		gs.N2 = gs.N - gs.N/2
+	}
+	if gs.N == 0 {
+		gs.N = gs.N1 + gs.N2
+	}
+}
+
+func init() {
+	register(Family{
+		Name: "dumbbell", Brief: "two cliques joined by a sparse cut (the paper's G')",
+		Params: "n (or n1,n2), cut", Partitioned: true,
+		Defaults: func(gs *GraphSpec) {
+			sideSplit(gs)
+			if gs.Cut == 0 {
+				gs.Cut = 1
+			}
+		},
+		Build: func(gs GraphSpec, _ *rng.RNG) (*graph.Graph, *graph.Partition, error) {
+			return graph.Dumbbell(gs.N1, gs.N2, gs.Cut)
+		},
+	})
+	register(Family{
+		Name: "planted", Aliases: []string{"planted-partition", "sbm"},
+		Brief:  "two-community random graph with a sparse planted cut",
+		Params: "n (or n1,n2), p_in, p_out", Partitioned: true, Random: true,
+		Defaults: func(gs *GraphSpec) {
+			sideSplit(gs)
+			if gs.PIn == 0 {
+				gs.PIn = 0.5
+			}
+			if gs.POut == 0 {
+				// ~3 expected cut edges, matching the former gossipsim default.
+				gs.POut = 3.0 / float64(gs.N1*gs.N2)
+			}
+		},
+		Build: func(gs GraphSpec, r *rng.RNG) (*graph.Graph, *graph.Partition, error) {
+			return graph.PlantedPartition(r, gs.N1, gs.N2, gs.PIn, gs.POut, 500)
+		},
+	})
+	register(Family{
+		Name: "sensor", Aliases: []string{"walled-rgg", "sensorfield"},
+		Brief:  "walled random geometric graph with door edges",
+		Params: "n, cut (doors), radius", Partitioned: true, Random: true,
+		Defaults: func(gs *GraphSpec) {
+			if gs.Cut == 0 {
+				gs.Cut = 1
+			}
+			if gs.Radius == 0 {
+				gs.Radius = 2
+			}
+		},
+		Build: func(gs GraphSpec, r *rng.RNG) (*graph.Graph, *graph.Partition, error) {
+			return graph.WalledRGG(r, gs.N, gs.Radius*graph.ConnectivityRadius(gs.N), gs.Cut, 500)
+		},
+	})
+	register(Family{
+		Name: "ringofcliques", Aliases: []string{"ring-of-cliques", "roc"},
+		Brief:  "cycle of cliques, adjacent pairs joined by sparse bridges",
+		Params: "n (or blocks), cut (bridges)", Partitioned: true,
+		Defaults: func(gs *GraphSpec) {
+			if gs.Blocks == 0 {
+				gs.Blocks = 4
+			}
+			if gs.N == 0 {
+				gs.N = 4 * gs.Blocks
+			}
+			if gs.Cut == 0 {
+				gs.Cut = 1
+			}
+		},
+		Build: func(gs GraphSpec, _ *rng.RNG) (*graph.Graph, *graph.Partition, error) {
+			m := gs.N / gs.Blocks
+			if m < 1 {
+				return nil, nil, fmt.Errorf("scenario: ringofcliques n=%d too small for %d blocks", gs.N, gs.Blocks)
+			}
+			return graph.RingOfCliques(gs.Blocks, m, gs.Cut)
+		},
+	})
+	register(Family{
+		Name: "hierdumbbell", Aliases: []string{"hierarchical-dumbbell", "doubledumbbell"},
+		Brief:  "dumbbell of dumbbells: nested inner and outer sparse cuts",
+		Params: "n, cut (outer), inner_cut", Partitioned: true,
+		Defaults: func(gs *GraphSpec) {
+			if gs.Cut == 0 {
+				gs.Cut = 1
+			}
+			if gs.InnerCut == 0 {
+				gs.InnerCut = 1
+			}
+		},
+		Build: func(gs GraphSpec, _ *rng.RNG) (*graph.Graph, *graph.Partition, error) {
+			return graph.HierarchicalDumbbell(gs.N, gs.InnerCut, gs.Cut)
+		},
+	})
+	register(Family{
+		Name: "complete", Aliases: []string{"clique"}, Brief: "complete graph K_n", Params: "n",
+		Build: func(gs GraphSpec, _ *rng.RNG) (*graph.Graph, *graph.Partition, error) {
+			return graph.Complete(gs.N), nil, nil
+		},
+	})
+	register(Family{
+		Name: "path", Brief: "path graph P_n", Params: "n",
+		Build: func(gs GraphSpec, _ *rng.RNG) (*graph.Graph, *graph.Partition, error) {
+			return graph.Path(gs.N), nil, nil
+		},
+	})
+	register(Family{
+		Name: "cycle", Aliases: []string{"ring"}, Brief: "cycle C_n", Params: "n",
+		Build: func(gs GraphSpec, _ *rng.RNG) (*graph.Graph, *graph.Partition, error) {
+			return graph.Cycle(gs.N), nil, nil
+		},
+	})
+	register(Family{
+		Name: "star", Brief: "star K_{1,n-1}", Params: "n",
+		Build: func(gs GraphSpec, _ *rng.RNG) (*graph.Graph, *graph.Partition, error) {
+			return graph.Star(gs.N), nil, nil
+		},
+	})
+	register(Family{
+		Name: "grid", Aliases: []string{"lattice"}, Brief: "2-D lattice", Params: "rows, cols (or n)",
+		Defaults: func(gs *GraphSpec) {
+			if gs.Rows == 0 {
+				gs.Rows = derivedSquare(gs.N)
+			}
+			if gs.Cols == 0 {
+				gs.Cols = gs.Rows
+			}
+			gs.N = gs.Rows * gs.Cols
+		},
+		Build: func(gs GraphSpec, _ *rng.RNG) (*graph.Graph, *graph.Partition, error) {
+			return graph.Grid(gs.Rows, gs.Cols), nil, nil
+		},
+	})
+	register(Family{
+		Name: "torus", Brief: "2-D lattice with wraparound", Params: "rows, cols (or n)",
+		Defaults: func(gs *GraphSpec) {
+			if gs.Rows == 0 {
+				gs.Rows = derivedSquare(gs.N)
+			}
+			if gs.Cols == 0 {
+				gs.Cols = gs.Rows
+			}
+			gs.N = gs.Rows * gs.Cols
+		},
+		Build: func(gs GraphSpec, _ *rng.RNG) (*graph.Graph, *graph.Partition, error) {
+			return graph.Torus(gs.Rows, gs.Cols), nil, nil
+		},
+	})
+	register(Family{
+		Name: "hypercube", Brief: "d-dimensional hypercube Q_d", Params: "dim (or n)",
+		Defaults: func(gs *GraphSpec) {
+			if gs.Dim == 0 {
+				gs.Dim = derivedLog2(gs.N)
+			}
+			gs.N = 1 << uint(gs.Dim)
+		},
+		Build: func(gs GraphSpec, _ *rng.RNG) (*graph.Graph, *graph.Partition, error) {
+			return graph.Hypercube(gs.Dim), nil, nil
+		},
+	})
+	register(Family{
+		Name: "bipartite", Aliases: []string{"complete-bipartite"},
+		Brief: "complete bipartite K_{n1,n2}", Params: "n1, n2 (or n)",
+		Defaults: func(gs *GraphSpec) { sideSplit(gs) },
+		Build: func(gs GraphSpec, _ *rng.RNG) (*graph.Graph, *graph.Partition, error) {
+			return graph.CompleteBipartite(gs.N1, gs.N2), nil, nil
+		},
+	})
+	register(Family{
+		Name: "bintree", Aliases: []string{"binary-tree", "tree"},
+		Brief: "complete binary tree", Params: "levels (or n)",
+		Defaults: func(gs *GraphSpec) {
+			if gs.Levels == 0 {
+				gs.Levels = derivedLog2(gs.N + 1)
+			}
+			gs.N = 1<<uint(gs.Levels) - 1
+		},
+		Build: func(gs GraphSpec, _ *rng.RNG) (*graph.Graph, *graph.Partition, error) {
+			return graph.BinaryTree(gs.Levels), nil, nil
+		},
+	})
+	register(Family{
+		Name: "lollipop", Brief: "clique with a path tail (slow mixing)", Params: "n (or n1, tail)",
+		Defaults: func(gs *GraphSpec) {
+			if gs.N1 == 0 {
+				gs.N1 = gs.N / 2
+			}
+			if gs.Tail == 0 {
+				gs.Tail = gs.N - gs.N1
+			}
+			gs.N = gs.N1 + gs.Tail
+		},
+		Build: func(gs GraphSpec, _ *rng.RNG) (*graph.Graph, *graph.Partition, error) {
+			return graph.Lollipop(gs.N1, gs.Tail), nil, nil
+		},
+	})
+	register(Family{
+		Name: "gnp", Aliases: []string{"erdos-renyi", "er"},
+		Brief: "Erdős–Rényi G(n,p), resampled until connected", Params: "n, p", Random: true,
+		Defaults: func(gs *GraphSpec) {
+			if gs.P == 0 {
+				// 3x the connectivity threshold ln(n)/n.
+				gs.P = 3 * connectivityP(gs.N)
+			}
+		},
+		Build: func(gs GraphSpec, r *rng.RNG) (*graph.Graph, *graph.Partition, error) {
+			g, err := graph.GnPConnected(r, gs.N, gs.P, 500)
+			return g, nil, err
+		},
+	})
+	register(Family{
+		Name: "regular", Aliases: []string{"random-regular"},
+		Brief: "random d-regular graph", Params: "n, degree", Random: true,
+		Defaults: func(gs *GraphSpec) {
+			if gs.Degree == 0 {
+				gs.Degree = 4
+			}
+			if gs.N*gs.Degree%2 != 0 {
+				gs.N++ // the configuration model needs n*d even
+			}
+		},
+		Build: func(gs GraphSpec, r *rng.RNG) (*graph.Graph, *graph.Partition, error) {
+			g, err := graph.RandomRegular(r, gs.N, gs.Degree, 500)
+			return g, nil, err
+		},
+	})
+	register(Family{
+		Name: "rgg", Aliases: []string{"geometric"},
+		Brief: "random geometric graph, resampled until connected", Params: "n, radius", Random: true,
+		Defaults: func(gs *GraphSpec) {
+			if gs.Radius == 0 {
+				gs.Radius = 2
+			}
+		},
+		Build: func(gs GraphSpec, r *rng.RNG) (*graph.Graph, *graph.Partition, error) {
+			g, err := graph.RGGConnected(r, gs.N, gs.Radius*graph.ConnectivityRadius(gs.N), 500)
+			return g, nil, err
+		},
+	})
+}

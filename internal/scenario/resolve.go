@@ -1,0 +1,217 @@
+package scenario
+
+import (
+	"fmt"
+	"strings"
+
+	"sparsecut/internal/avgtime"
+	"sparsecut/internal/core"
+	"sparsecut/internal/cut"
+	"sparsecut/internal/gossip"
+	"sparsecut/internal/graph"
+	"sparsecut/internal/rng"
+	"sparsecut/internal/sim"
+	"sparsecut/internal/spectral"
+)
+
+// Resolved is a Spec turned into concrete simulation objects. All
+// randomness consumed during resolution (graph sampling, random initial
+// vectors, rate draws) derives deterministically from Spec.Seed, so the
+// same spec resolves to the same graph and initial condition everywhere.
+type Resolved struct {
+	// Spec is the input with every default filled in — the normalized form
+	// that sweep reports embed.
+	Spec Spec
+	// Graph is the built graph; Partition its planted sparse-cut partition
+	// (nil for families without one).
+	Graph     *graph.Graph
+	Partition *graph.Partition
+	// X0 is the initial vector.
+	X0 []float64
+	// Rates holds per-edge clock rates, nil for the uniform rate-1 model.
+	Rates []float64
+
+	trialSeed uint64
+	algSeed   uint64
+}
+
+// Resolve validates the spec, applies defaults, builds the graph and the
+// initial condition, and returns the bundle the engines consume.
+func (s Spec) Resolve() (*Resolved, error) {
+	s = s.withDefaults()
+	fam, ok := Lookup(s.Graph.Family)
+	if !ok {
+		return nil, fmt.Errorf("scenario: unknown graph family %q (known: %s)",
+			s.Graph.Family, strings.Join(FamilyNames(), ", "))
+	}
+	s.Graph.Family = fam.Name
+	if fam.Defaults != nil {
+		fam.Defaults(&s.Graph)
+	}
+	switch s.Algo.Name {
+	case "vanilla", "convex", "pushsum", "A":
+	case "a", "algorithmA", "algorithma", "sparsecut":
+		s.Algo.Name = "A"
+	default:
+		return nil, fmt.Errorf("scenario: unknown algorithm %q (known: vanilla, convex, pushsum, A)", s.Algo.Name)
+	}
+	if s.Algo.Alpha < 0 || s.Algo.Alpha > 1 {
+		return nil, fmt.Errorf("scenario: convex alpha %v outside [0,1]", s.Algo.Alpha)
+	}
+	switch s.Algo.Weight {
+	case "exact", "paper", "custom":
+	default:
+		return nil, fmt.Errorf("scenario: unknown weight rule %q (known: exact, paper, custom)", s.Algo.Weight)
+	}
+
+	// All resolution randomness flows from one root: one child stream for
+	// the graph sample, one for the initial vector, one for the rates, and
+	// a derived seed for the trial streams. The order is part of the
+	// determinism contract (DESIGN.md §7).
+	root := rng.New(s.Seed)
+	graphRNG := root.Split()
+	initRNG := root.Split()
+	rateRNG := root.Split()
+	trialSeed := root.Uint64()
+	algSeed := root.Uint64()
+
+	g, part, err := fam.Build(s.Graph, graphRNG)
+	if err != nil {
+		return nil, fmt.Errorf("scenario: building %s: %w", fam.Name, err)
+	}
+	s.Graph.N = g.NumNodes()
+
+	r := &Resolved{Spec: s, Graph: g, Partition: part, trialSeed: trialSeed, algSeed: algSeed}
+	if r.X0, err = buildInit(s.Init, g, part, initRNG); err != nil {
+		return nil, err
+	}
+	if r.Rates, err = buildRates(s.Rates, g, rateRNG); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+// buildInit constructs the initial vector. "worstcase" prefers the
+// planted partition's cut indicator; without one it detects a cut by
+// spectral bisection and falls back to a spike if detection fails.
+func buildInit(kind string, g *graph.Graph, part *graph.Partition, r *rng.RNG) ([]float64, error) {
+	switch kind {
+	case "worstcase":
+		if part == nil {
+			detected, err := cut.SpectralBisection(g, spectral.Options{})
+			if err == nil {
+				return gossip.CutIndicator(detected), nil
+			}
+			return gossip.Spike(g.NumNodes(), 0)
+		}
+		return gossip.CutIndicator(part), nil
+	case "spike":
+		return gossip.Spike(g.NumNodes(), 0)
+	case "random":
+		return gossip.UniformRandom(r, g.NumNodes()), nil
+	case "gaussian":
+		return gossip.GaussianRandom(r, g.NumNodes()), nil
+	case "linear":
+		return gossip.Linear(g.NumNodes()), nil
+	default:
+		return nil, fmt.Errorf("scenario: unknown init %q (known: worstcase, spike, random, gaussian, linear)", kind)
+	}
+}
+
+// buildRates constructs the per-edge clock rates for the named model.
+func buildRates(model string, g *graph.Graph, r *rng.RNG) ([]float64, error) {
+	switch model {
+	case "uniform":
+		return nil, nil
+	case "nodeclock":
+		return sim.NodeClockRates(g), nil
+	case "random":
+		rates := make([]float64, g.NumEdges())
+		for i := range rates {
+			rates[i] = 0.5 + 1.5*r.Float64()
+		}
+		return rates, nil
+	default:
+		return nil, fmt.Errorf("scenario: unknown rate model %q (known: uniform, nodeclock, random)", model)
+	}
+}
+
+// NewAlgorithm builds a fresh algorithm instance for one trial. The RNG
+// is consumed only by algorithms with internal randomness (push-sum).
+func (r *Resolved) NewAlgorithm(rr *rng.RNG) (gossip.Algorithm, error) {
+	a := r.Spec.Algo
+	switch a.Name {
+	case "vanilla":
+		return gossip.NewVanilla(r.Graph, r.X0)
+	case "convex":
+		return gossip.NewConvex(r.Graph, r.X0, a.Alpha)
+	case "pushsum":
+		return gossip.NewPushSum(r.Graph, r.X0, rr)
+	case "A":
+		opts := []core.Option{}
+		if r.Partition != nil {
+			opts = append(opts, core.WithPartition(r.Partition))
+		}
+		switch a.Weight {
+		case "paper":
+			opts = append(opts, core.WithWeightRule(core.WeightPaper))
+		case "custom":
+			opts = append(opts, core.WithWeight(a.W))
+		}
+		if a.EpochC != 0 {
+			opts = append(opts, core.WithEpochConstant(a.EpochC))
+		}
+		if a.EpochTicks != 0 {
+			opts = append(opts, core.WithEpochTicks(a.EpochTicks))
+		}
+		return core.New(r.Graph, r.X0, opts...)
+	default:
+		return nil, fmt.Errorf("scenario: unknown algorithm %q", a.Name)
+	}
+}
+
+// AlgorithmRNG returns a fresh stream for a single standalone algorithm
+// instance (e.g. one CLI simulation run). It is derived from the
+// scenario root but disjoint from the graph/init/rate streams and from
+// the avgtime trial streams, so no randomness is reused across purposes.
+func (r *Resolved) AlgorithmRNG() *rng.RNG {
+	return rng.New(r.algSeed)
+}
+
+// Factory adapts NewAlgorithm to the avgtime trial-factory signature.
+func (r *Resolved) Factory() avgtime.Factory {
+	return func(_ int, rr *rng.RNG) (gossip.Algorithm, error) {
+		return r.NewAlgorithm(rr)
+	}
+}
+
+// Monotone reports whether the resolved algorithm's variance is
+// non-increasing (class C), letting the estimator stop exactly at the
+// threshold instead of waiting out the re-inflation margin.
+func (r *Resolved) Monotone() bool {
+	return r.Spec.Algo.Name == "vanilla" || r.Spec.Algo.Name == "convex"
+}
+
+// AvgtimeConfig derives the Definition-1 estimator configuration: the
+// spec's trial budget and censoring horizon (default 60·n), with the
+// trial streams seeded from the scenario root.
+func (r *Resolved) AvgtimeConfig() avgtime.Config {
+	cfg := avgtime.Config{
+		Trials:  r.Spec.Stop.Trials,
+		MaxTime: r.Spec.Stop.MaxTime,
+		Seed:    r.trialSeed,
+	}
+	if cfg.MaxTime == 0 {
+		cfg.MaxTime = 60 * float64(r.Graph.NumNodes())
+	}
+	if r.Monotone() {
+		cfg.MarginFactor = 1 // convex updates never re-inflate the variance
+	}
+	return cfg
+}
+
+// Estimate runs the paper's Definition-1 Monte-Carlo averaging-time
+// estimator for this scenario (censoring-aware, like internal/avgtime).
+func (r *Resolved) Estimate() (avgtime.Result, error) {
+	return avgtime.EstimateWithRates(r.Graph, r.Rates, r.Factory(), r.AvgtimeConfig())
+}

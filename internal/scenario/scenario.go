@@ -1,0 +1,198 @@
+// Package scenario turns a declarative description of one simulation
+// setup — graph family and parameters, algorithm and options, initial
+// vector, clock-rate model, stop condition — into the concrete objects the
+// engines consume (graph.Graph, gossip.Algorithm factories, avgtime
+// configs). A registry names every generator the repository provides, so
+// the CLIs and the sweep engine reach the whole zoo through one schema
+// instead of hard-coding three families each.
+//
+// Specs are plain structs with JSON tags: they parse from command-line
+// flags or a JSON file, and round-trip losslessly, which is what makes
+// sweep reports self-describing and replayable.
+package scenario
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+)
+
+// GraphSpec selects and parameterises a graph family. Only the fields a
+// family consumes are meaningful; Resolve fills family defaults for the
+// rest (derived from N where sensible) so a spec with just Family and N is
+// complete.
+type GraphSpec struct {
+	// Family names a registry entry (see Families for the catalogue).
+	Family string `json:"family"`
+	// N is the total node count. Families with structured sizes (grid,
+	// hypercube, binary tree, ring of cliques) derive their shape from N
+	// unless the shape fields below are set explicitly.
+	N int `json:"n,omitempty"`
+	// N1, N2 override the side split of two-sided families (dumbbell,
+	// planted, bipartite). Default: N/2 and N-N/2.
+	N1 int `json:"n1,omitempty"`
+	N2 int `json:"n2,omitempty"`
+	// Cut is the number of cut edges: dumbbell cut edges, sensor doors,
+	// ring-of-cliques bridges per joint, hierarchical dumbbell outer cut.
+	Cut int `json:"cut,omitempty"`
+	// InnerCut is the hierarchical dumbbell's within-side cut width.
+	InnerCut int `json:"inner_cut,omitempty"`
+	// Rows, Cols shape lattice families (grid, torus).
+	Rows int `json:"rows,omitempty"`
+	Cols int `json:"cols,omitempty"`
+	// Dim is the hypercube dimension.
+	Dim int `json:"dim,omitempty"`
+	// Levels is the binary-tree depth.
+	Levels int `json:"levels,omitempty"`
+	// Tail is the lollipop path length.
+	Tail int `json:"tail,omitempty"`
+	// Blocks is the ring-of-cliques clique count.
+	Blocks int `json:"blocks,omitempty"`
+	// Degree is the random-regular degree.
+	Degree int `json:"degree,omitempty"`
+	// P is the G(n,p) edge probability.
+	P float64 `json:"p,omitempty"`
+	// PIn, POut are the planted-partition densities.
+	PIn  float64 `json:"p_in,omitempty"`
+	POut float64 `json:"p_out,omitempty"`
+	// Radius scales the RGG/sensor connection radius as a multiple of the
+	// standard connectivity radius sqrt(2 ln n / n). Default 2.
+	Radius float64 `json:"radius,omitempty"`
+}
+
+// AlgoSpec selects and parameterises a gossip algorithm.
+type AlgoSpec struct {
+	// Name is one of: "vanilla", "convex", "pushsum", "A" (Algorithm A).
+	Name string `json:"name"`
+	// Alpha is the convex mixing parameter (default 0.5 = vanilla rule).
+	Alpha float64 `json:"alpha,omitempty"`
+	// Weight selects Algorithm A's swap coefficient: "exact" (default),
+	// "paper", or "custom" (then W holds the value).
+	Weight string  `json:"weight,omitempty"`
+	W      float64 `json:"w,omitempty"`
+	// EpochC sets the paper's constant C in K = ceil(C*(Tvan1+Tvan2)*ln n).
+	EpochC float64 `json:"epoch_c,omitempty"`
+	// EpochTicks fixes the swap period K directly (overrides EpochC).
+	EpochTicks int64 `json:"epoch_ticks,omitempty"`
+}
+
+// StopSpec sets the Monte-Carlo estimator's budget.
+type StopSpec struct {
+	// Trials is the number of independent trials (default 5).
+	Trials int `json:"trials,omitempty"`
+	// MaxTime censors each trial (default 60*N, the experiment suite's
+	// horizon — generous for Algorithm A, tight enough to censor convex
+	// runs that Theorem 1 says cannot finish).
+	MaxTime float64 `json:"max_time,omitempty"`
+}
+
+// Spec is a complete scenario: everything needed to reproduce one
+// (graph, algorithm, parameters) Monte-Carlo cell from a seed.
+type Spec struct {
+	Graph GraphSpec `json:"graph"`
+	Algo  AlgoSpec  `json:"algo"`
+	// Init selects the initial vector: "worstcase" (default; the paper's
+	// cut indicator, falling back to a spectral-detected cut and then to a
+	// spike on families without a planted partition), "spike", "random",
+	// "gaussian", "linear".
+	Init string `json:"init,omitempty"`
+	// Rates selects the clock-rate model: "uniform" (default, the paper's
+	// rate-1 edge clocks), "nodeclock" (Boyd et al.'s node-clock model as
+	// degree-dependent edge rates), "random" (i.i.d. U[0.5,2) per edge).
+	Rates string   `json:"rates,omitempty"`
+	Stop  StopSpec `json:"stop,omitempty"`
+	// Seed makes everything deterministic: graph sampling, initial vector
+	// randomness, and the trial streams all derive from it (default 1).
+	Seed uint64 `json:"seed,omitempty"`
+}
+
+// Label renders a compact human-readable cell identifier, used in sweep
+// reports and progress output.
+func (s Spec) Label() string {
+	l := fmt.Sprintf("%s/n=%d", s.Graph.Family, s.Graph.N)
+	if s.Graph.Cut > 0 {
+		l += fmt.Sprintf("/cut=%d", s.Graph.Cut)
+	}
+	l += "/" + s.Algo.Name
+	if s.Algo.Name == "convex" && s.Algo.Alpha != 0 && s.Algo.Alpha != 0.5 {
+		l += fmt.Sprintf("(%.3g)", s.Algo.Alpha)
+	}
+	if s.Algo.EpochC != 0 {
+		l += fmt.Sprintf("/C=%.3g", s.Algo.EpochC)
+	}
+	if s.Algo.Weight != "" && s.Algo.Weight != "exact" {
+		l += "/w=" + s.Algo.Weight
+	}
+	return l
+}
+
+// withDefaults fills the family-independent defaults. Family-specific
+// graph defaults are applied by the registry entry during Resolve.
+func (s Spec) withDefaults() Spec {
+	if s.Graph.Family == "" {
+		s.Graph.Family = "dumbbell"
+	}
+	if s.Graph.N == 0 && s.Graph.N1 == 0 && s.Graph.Rows == 0 && s.Graph.Dim == 0 &&
+		s.Graph.Levels == 0 && s.Graph.Blocks == 0 {
+		s.Graph.N = 64
+	}
+	if s.Algo.Name == "" {
+		s.Algo.Name = "vanilla"
+	}
+	if s.Algo.Alpha == 0 {
+		s.Algo.Alpha = 0.5
+	}
+	if s.Algo.Weight == "" {
+		s.Algo.Weight = "exact"
+	}
+	if s.Init == "" {
+		s.Init = "worstcase"
+	}
+	if s.Rates == "" {
+		s.Rates = "uniform"
+	}
+	if s.Stop.Trials == 0 {
+		s.Stop.Trials = 5
+	}
+	if s.Seed == 0 {
+		s.Seed = 1
+	}
+	return s
+}
+
+// ParseSpec reads one Spec from JSON.
+func ParseSpec(r io.Reader) (Spec, error) {
+	var s Spec
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&s); err != nil {
+		return Spec{}, fmt.Errorf("scenario: parsing spec: %w", err)
+	}
+	return s, nil
+}
+
+// derivedSquare returns the nearest rows=cols lattice shape for n nodes.
+func derivedSquare(n int) int {
+	s := int(math.Round(math.Sqrt(float64(n))))
+	if s < 1 {
+		s = 1
+	}
+	return s
+}
+
+// derivedLog2 returns round(log2 n), clamped to >= 1.
+func derivedLog2(n int) int {
+	if n < 2 {
+		return 1
+	}
+	return int(math.Round(math.Log2(float64(n))))
+}
+
+// connectivityP returns the G(n,p) connectivity threshold ln(n)/n.
+func connectivityP(n int) float64 {
+	if n < 2 {
+		return 1
+	}
+	return math.Log(float64(n)) / float64(n)
+}

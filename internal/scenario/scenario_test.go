@@ -1,0 +1,220 @@
+package scenario
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"sparsecut/internal/graph"
+	"sparsecut/internal/rng"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// TestRegistryCoversZoo checks every generator family the repo provides is
+// reachable by name, including the legacy CLI spellings.
+func TestRegistryCoversZoo(t *testing.T) {
+	want := []string{
+		"dumbbell", "planted", "sensor", "ringofcliques", "hierdumbbell",
+		"complete", "path", "cycle", "star", "grid", "torus", "hypercube",
+		"bipartite", "bintree", "lollipop", "gnp", "regular", "rgg",
+	}
+	if len(FamilyNames()) != len(want) {
+		t.Errorf("registry has %d families %v, want %d", len(FamilyNames()), FamilyNames(), len(want))
+	}
+	for _, name := range want {
+		if _, ok := Lookup(name); !ok {
+			t.Errorf("family %q not registered", name)
+		}
+	}
+	// Aliases and case-insensitivity.
+	for _, alias := range []string{"ring-of-cliques", "SBM", "erdos-renyi", "Clique", "binary-tree"} {
+		if _, ok := Lookup(alias); !ok {
+			t.Errorf("alias %q not resolvable", alias)
+		}
+	}
+}
+
+// TestResolveEveryFamily resolves a small spec for each family and sanity
+// checks the outputs.
+func TestResolveEveryFamily(t *testing.T) {
+	for _, f := range Families() {
+		f := f
+		t.Run(f.Name, func(t *testing.T) {
+			r, err := Spec{Graph: GraphSpec{Family: f.Name, N: 16}, Seed: 7}.Resolve()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if r.Graph.NumNodes() < 2 {
+				t.Fatalf("graph too small: %d nodes", r.Graph.NumNodes())
+			}
+			if len(r.X0) != r.Graph.NumNodes() {
+				t.Fatalf("x0 length %d for %d nodes", len(r.X0), r.Graph.NumNodes())
+			}
+			if f.Partitioned && r.Partition == nil {
+				t.Error("partitioned family resolved without partition")
+			}
+			if r.Spec.Graph.N != r.Graph.NumNodes() {
+				t.Errorf("normalized N=%d but graph has %d nodes", r.Spec.Graph.N, r.Graph.NumNodes())
+			}
+			alg, err := r.NewAlgorithm(nil)
+			if err != nil {
+				t.Fatalf("building default algorithm: %v", err)
+			}
+			if alg.Variance() < 0 {
+				t.Error("negative initial variance")
+			}
+		})
+	}
+}
+
+// TestResolveDeterministic: the same spec resolves to the identical graph
+// and initial vector, even for random families.
+func TestResolveDeterministic(t *testing.T) {
+	spec := Spec{
+		Graph: GraphSpec{Family: "planted", N: 20},
+		Algo:  AlgoSpec{Name: "A"},
+		Init:  "random",
+		Rates: "random",
+		Seed:  42,
+	}
+	a, err := spec.Resolve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := spec.Resolve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Graph.NumEdges() != b.Graph.NumEdges() {
+		t.Fatalf("edge counts differ: %d vs %d", a.Graph.NumEdges(), b.Graph.NumEdges())
+	}
+	for i, e := range a.Graph.Edges() {
+		if b.Graph.Edge(graph.EdgeID(i)) != e {
+			t.Fatalf("edge %d differs", i)
+		}
+	}
+	for i := range a.X0 {
+		if a.X0[i] != b.X0[i] {
+			t.Fatalf("x0[%d] differs: %v vs %v", i, a.X0[i], b.X0[i])
+		}
+	}
+	for i := range a.Rates {
+		if a.Rates[i] != b.Rates[i] {
+			t.Fatalf("rates[%d] differs", i)
+		}
+	}
+}
+
+// TestAlgorithmVariants exercises the algorithm spec knobs.
+func TestAlgorithmVariants(t *testing.T) {
+	base := GraphSpec{Family: "dumbbell", N: 12, Cut: 1}
+	cases := []AlgoSpec{
+		{Name: "vanilla"},
+		{Name: "convex", Alpha: 0.75},
+		{Name: "pushsum"},
+		{Name: "A"},
+		{Name: "A", Weight: "paper"},
+		{Name: "A", Weight: "custom", W: 5},
+		{Name: "A", EpochC: 2},
+		{Name: "A", EpochTicks: 3},
+	}
+	for _, a := range cases {
+		r, err := Spec{Graph: base, Algo: a, Seed: 3}.Resolve()
+		if err != nil {
+			t.Fatalf("%+v: resolve: %v", a, err)
+		}
+		alg, err := r.NewAlgorithm(rng.New(1))
+		if err != nil {
+			t.Fatalf("%+v: build: %v", a, err)
+		}
+		if alg.Name() == "" {
+			t.Errorf("%+v: empty algorithm name", a)
+		}
+	}
+	// Unknown spellings are rejected.
+	for _, bad := range []Spec{
+		{Graph: base, Algo: AlgoSpec{Name: "magic"}},
+		{Graph: base, Algo: AlgoSpec{Name: "A", Weight: "heavy"}},
+		{Graph: GraphSpec{Family: "nosuch"}},
+		{Graph: base, Init: "nosuch"},
+		{Graph: base, Rates: "nosuch"},
+	} {
+		if _, err := bad.Resolve(); err == nil {
+			t.Errorf("%+v: expected resolve error", bad)
+		}
+	}
+}
+
+// TestSpecJSONRoundTrip: marshalling a normalized spec and parsing it back
+// yields the same normalized spec, and the serialized form matches the
+// checked-in golden file (the schema contract for sweep reports).
+func TestSpecJSONRoundTrip(t *testing.T) {
+	specs := []Spec{
+		{Graph: GraphSpec{Family: "dumbbell", N: 64, Cut: 2}, Algo: AlgoSpec{Name: "A", EpochC: 1.5}, Seed: 9},
+		{Graph: GraphSpec{Family: "sensor", N: 40, Cut: 3}, Algo: AlgoSpec{Name: "convex", Alpha: 0.8}, Init: "random", Rates: "nodeclock", Stop: StopSpec{Trials: 3, MaxTime: 500}},
+		{Graph: GraphSpec{Family: "ringofcliques", Blocks: 5, N: 20}, Algo: AlgoSpec{Name: "vanilla"}},
+		{Graph: GraphSpec{Family: "hierdumbbell", N: 24, Cut: 1, InnerCut: 2}, Algo: AlgoSpec{Name: "A", Weight: "paper"}},
+	}
+	var normalized []Spec
+	for _, s := range specs {
+		r, err := s.Resolve()
+		if err != nil {
+			t.Fatal(err)
+		}
+		normalized = append(normalized, r.Spec)
+	}
+	got, err := json.MarshalIndent(normalized, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got = append(got, '\n')
+
+	golden := filepath.Join("testdata", "specs_golden.json")
+	if *update {
+		if err := os.WriteFile(golden, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("golden mismatch (re-run with -update to accept):\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+
+	// Parse the golden bytes back and re-normalize: must be a fixed point.
+	var back []Spec
+	if err := json.Unmarshal(want, &back); err != nil {
+		t.Fatal(err)
+	}
+	for i, s := range back {
+		r, err := s.Resolve()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Spec != normalized[i] {
+			t.Errorf("spec %d not a round-trip fixed point:\n got %+v\nwant %+v", i, r.Spec, normalized[i])
+		}
+	}
+}
+
+// TestParseSpecRejectsUnknownFields guards the schema against typos.
+func TestParseSpecRejectsUnknownFields(t *testing.T) {
+	_, err := ParseSpec(strings.NewReader(`{"graph": {"family": "dumbbell", "nodes": 64}}`))
+	if err == nil {
+		t.Fatal("expected error for unknown field")
+	}
+}
+
+func TestLabel(t *testing.T) {
+	s := Spec{Graph: GraphSpec{Family: "dumbbell", N: 64, Cut: 2}, Algo: AlgoSpec{Name: "A", EpochC: 2}}
+	if got := s.Label(); got != "dumbbell/n=64/cut=2/A/C=2" {
+		t.Errorf("label = %q", got)
+	}
+}

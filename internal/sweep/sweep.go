@@ -1,0 +1,249 @@
+// Package sweep runs grids of scenarios — (graph family × size × cut ×
+// algorithm × parameter) Monte-Carlo cells — concurrently on a worker
+// pool, with results that are bit-identical regardless of the worker
+// count.
+//
+// Determinism contract: the grid expands to an ordered list of units; each
+// unit's entire randomness (graph sample, initial vector, trial streams)
+// derives from a seed computed by a splitmix64 hash of (root seed, unit
+// index) — never from which worker runs it or when. Cells are written into
+// a slice indexed by unit, so the report layout is also order-independent.
+// The package test proves workers=1 and workers=4 produce byte-identical
+// JSON.
+package sweep
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"sparsecut/internal/scenario"
+	"sparsecut/internal/stats"
+)
+
+// Grid is a scenario template plus axes to sweep. Empty axes keep the
+// base spec's value; non-empty axes multiply into a cartesian product in
+// the field order below (families outermost, weights innermost).
+type Grid struct {
+	// Base supplies every field the axes do not override.
+	Base scenario.Spec `json:"base"`
+	// Families sweeps Graph.Family.
+	Families []string `json:"families,omitempty"`
+	// Ns sweeps the total node count. Setting it clears the base spec's
+	// derived shape fields (n1/n2, rows/cols, dim, levels) so each size
+	// re-derives its shape.
+	Ns []int `json:"ns,omitempty"`
+	// Cuts sweeps Graph.Cut.
+	Cuts []int `json:"cuts,omitempty"`
+	// Algos sweeps Algo.Name.
+	Algos []string `json:"algos,omitempty"`
+	// Alphas sweeps the convex mixing parameter.
+	Alphas []float64 `json:"alphas,omitempty"`
+	// EpochCs sweeps Algorithm A's epoch constant C.
+	EpochCs []float64 `json:"epoch_cs,omitempty"`
+	// Weights sweeps Algorithm A's swap-weight rule.
+	Weights []string `json:"weights,omitempty"`
+}
+
+// Unit is one fully-specified cell of the expanded grid.
+type Unit struct {
+	// Index is the unit's position in expansion order; it determines the
+	// unit seed and the cell's slot in the report.
+	Index int
+	// Spec is the cell's scenario with the unit seed already planted.
+	Spec scenario.Spec
+}
+
+// Expand turns the grid into its ordered unit list, planting the per-unit
+// seeds derived from root. Axis values are validated against the scenario
+// registry up front so a typo fails before any simulation runs.
+func Expand(g Grid, root uint64) ([]Unit, error) {
+	orOne := func(k int) int {
+		if k == 0 {
+			return 1
+		}
+		return k
+	}
+	total := orOne(len(g.Families)) * orOne(len(g.Ns)) * orOne(len(g.Cuts)) *
+		orOne(len(g.Algos)) * orOne(len(g.Alphas)) * orOne(len(g.EpochCs)) * orOne(len(g.Weights))
+	units := make([]Unit, 0, total)
+	for fi := 0; fi < orOne(len(g.Families)); fi++ {
+		for ni := 0; ni < orOne(len(g.Ns)); ni++ {
+			for ci := 0; ci < orOne(len(g.Cuts)); ci++ {
+				for ai := 0; ai < orOne(len(g.Algos)); ai++ {
+					for pi := 0; pi < orOne(len(g.Alphas)); pi++ {
+						for ei := 0; ei < orOne(len(g.EpochCs)); ei++ {
+							for wi := 0; wi < orOne(len(g.Weights)); wi++ {
+								s := g.Base
+								if len(g.Families) > 0 {
+									s.Graph.Family = g.Families[fi]
+								}
+								if len(g.Ns) > 0 {
+									s.Graph.N = g.Ns[ni]
+									s.Graph.N1, s.Graph.N2 = 0, 0
+									s.Graph.Rows, s.Graph.Cols = 0, 0
+									s.Graph.Dim, s.Graph.Levels = 0, 0
+									s.Graph.Tail, s.Graph.Blocks = 0, 0
+								}
+								if len(g.Cuts) > 0 {
+									s.Graph.Cut = g.Cuts[ci]
+								}
+								if len(g.Algos) > 0 {
+									s.Algo.Name = g.Algos[ai]
+								}
+								if len(g.Alphas) > 0 {
+									s.Algo.Alpha = g.Alphas[pi]
+								}
+								if len(g.EpochCs) > 0 {
+									s.Algo.EpochC = g.EpochCs[ei]
+								}
+								if len(g.Weights) > 0 {
+									s.Algo.Weight = g.Weights[wi]
+								}
+								index := len(units)
+								s.Seed = unitSeed(root, index)
+								units = append(units, Unit{Index: index, Spec: s})
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	// Validate every unit's family now (cheap — no graph construction):
+	// Resolve would catch a typo later, but failing at expansion keeps a
+	// long sweep from dying halfway through. This covers both the
+	// Families axis and the base spec's family (an empty base family is
+	// resolved to the default by withDefaults, so only non-empty names
+	// are checked).
+	for _, u := range units {
+		if f := u.Spec.Graph.Family; f != "" {
+			if _, ok := scenario.Lookup(f); !ok {
+				return nil, fmt.Errorf("sweep: unit %d: unknown family %q", u.Index, f)
+			}
+		}
+	}
+	return units, nil
+}
+
+// unitSeed hashes (root, index) with the splitmix64 finalizer: every unit
+// gets a stable, well-separated seed independent of scheduling.
+func unitSeed(root uint64, index int) uint64 {
+	z := root + 0x9e3779b97f4a7c15*(uint64(index)+1)
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	z ^= z >> 31
+	if z == 0 {
+		z = 1 // Spec.Seed zero means "use the default"; keep it explicit
+	}
+	return z
+}
+
+// Config controls a sweep run.
+type Config struct {
+	// Workers is the pool size (default GOMAXPROCS). The results do not
+	// depend on it.
+	Workers int
+	// Seed is the root seed (default: the grid base spec's seed, then 1).
+	Seed uint64
+	// OnCell, when set, is called once per finished cell, in completion
+	// order (which is scheduling-dependent — use it for progress display
+	// only, never for results).
+	OnCell func(Cell)
+}
+
+// Run expands the grid and executes every unit on the worker pool.
+// Per-cell failures (for example an unsatisfiable random family) are
+// recorded in the cell's Error field rather than aborting the sweep.
+func Run(grid Grid, cfg Config) (*Report, error) {
+	root := cfg.Seed
+	if root == 0 {
+		root = grid.Base.Seed
+	}
+	if root == 0 {
+		root = 1
+	}
+	units, err := Expand(grid, root)
+	if err != nil {
+		return nil, err
+	}
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(units) {
+		workers = len(units)
+	}
+
+	cells := make([]Cell, len(units))
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	work := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range work {
+				cells[i] = runUnit(units[i])
+				if cfg.OnCell != nil {
+					mu.Lock()
+					cfg.OnCell(cells[i])
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+	for i := range units {
+		work <- i
+	}
+	close(work)
+	wg.Wait()
+
+	return &Report{Grid: grid, Seed: root, Cells: cells}, nil
+}
+
+// runUnit resolves and estimates one cell. All errors are folded into the
+// cell so the sweep's shape is stable.
+func runUnit(u Unit) Cell {
+	cell := Cell{Index: u.Index, Label: u.Spec.Label(), Spec: u.Spec, Seed: u.Spec.Seed}
+	r, err := u.Spec.Resolve()
+	if err != nil {
+		cell.Error = err.Error()
+		return cell
+	}
+	cell.Spec = r.Spec // normalized: every default made explicit
+	cell.Label = r.Spec.Label()
+	cell.Nodes = r.Graph.NumNodes()
+	cell.Edges = r.Graph.NumEdges()
+	if r.Partition != nil {
+		cell.CutSize = r.Partition.CutSize()
+	}
+	res, err := r.Estimate()
+	if err != nil {
+		cell.Error = err.Error()
+		return cell
+	}
+	var w stats.Welford
+	for _, l := range res.PerTrial {
+		w.Add(l)
+	}
+	cell.Trials = len(res.PerTrial)
+	cell.Censored = res.Censored
+	cell.Events = res.Events
+	cell.Tav = res.Tav
+	cell.Mean = w.Mean()
+	cell.StdDev = w.StdDev()
+	cell.CI95 = w.CI95()
+	cell.Min = w.Min()
+	cell.Max = w.Max()
+	if q, err := stats.Quantile(res.PerTrial, 0.25); err == nil {
+		cell.Q25 = q
+	}
+	if q, err := stats.Quantile(res.PerTrial, 0.5); err == nil {
+		cell.Median = q
+	}
+	if q, err := stats.Quantile(res.PerTrial, 0.75); err == nil {
+		cell.Q75 = q
+	}
+	return cell
+}

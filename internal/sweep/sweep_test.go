@@ -1,0 +1,206 @@
+package sweep
+
+import (
+	"bytes"
+	"testing"
+
+	"sparsecut/internal/scenario"
+)
+
+// TestDeterministicAcrossWorkers is the subsystem's core contract: the
+// same grid and seed produce byte-identical JSON for workers=1 and
+// workers=4, including random graph families, on any GOMAXPROCS.
+func TestDeterministicAcrossWorkers(t *testing.T) {
+	grid := Grid{
+		Base: scenario.Spec{
+			Stop: scenario.StopSpec{Trials: 2, MaxTime: 200},
+		},
+		Families: []string{"dumbbell", "planted"},
+		Ns:       []int{12, 16},
+		Algos:    []string{"vanilla", "A"},
+	}
+	var out1, out4 bytes.Buffer
+	rep1, err := Run(grid, Config{Workers: 1, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep4, err := Run(grid, Config{Workers: 4, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rep1.WriteJSON(&out1); err != nil {
+		t.Fatal(err)
+	}
+	if err := rep4.WriteJSON(&out4); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(out1.Bytes(), out4.Bytes()) {
+		t.Fatalf("workers=1 and workers=4 reports differ:\n--- w=1 ---\n%s\n--- w=4 ---\n%s", out1.String(), out4.String())
+	}
+	for _, c := range rep1.Cells {
+		if c.Error != "" {
+			t.Errorf("cell %s failed: %s", c.Label, c.Error)
+		}
+		if c.Trials != 2 {
+			t.Errorf("cell %s ran %d trials, want 2", c.Label, c.Trials)
+		}
+	}
+}
+
+// TestExpandOrderAndSeeds pins the expansion order (families outermost,
+// algos inner) and the seed-per-unit scheme.
+func TestExpandOrderAndSeeds(t *testing.T) {
+	grid := Grid{
+		Base:     scenario.Spec{Graph: scenario.GraphSpec{Cut: 1}},
+		Families: []string{"dumbbell", "ringofcliques"},
+		Ns:       []int{16, 32},
+		Algos:    []string{"vanilla", "A"},
+	}
+	units, err := Expand(grid, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(units) != 8 {
+		t.Fatalf("expanded %d units, want 8", len(units))
+	}
+	wantOrder := []struct {
+		family string
+		n      int
+		algo   string
+	}{
+		{"dumbbell", 16, "vanilla"}, {"dumbbell", 16, "A"},
+		{"dumbbell", 32, "vanilla"}, {"dumbbell", 32, "A"},
+		{"ringofcliques", 16, "vanilla"}, {"ringofcliques", 16, "A"},
+		{"ringofcliques", 32, "vanilla"}, {"ringofcliques", 32, "A"},
+	}
+	seeds := map[uint64]bool{}
+	for i, u := range units {
+		w := wantOrder[i]
+		if u.Spec.Graph.Family != w.family || u.Spec.Graph.N != w.n || u.Spec.Algo.Name != w.algo {
+			t.Errorf("unit %d = %s/%d/%s, want %s/%d/%s", i,
+				u.Spec.Graph.Family, u.Spec.Graph.N, u.Spec.Algo.Name, w.family, w.n, w.algo)
+		}
+		if u.Spec.Seed == 0 {
+			t.Errorf("unit %d has zero seed", i)
+		}
+		if seeds[u.Spec.Seed] {
+			t.Errorf("unit %d reuses seed %d", i, u.Spec.Seed)
+		}
+		seeds[u.Spec.Seed] = true
+		if want := unitSeed(5, i); u.Spec.Seed != want {
+			t.Errorf("unit %d seed %d, want unitSeed(5,%d)=%d", i, u.Spec.Seed, i, want)
+		}
+	}
+	// Unknown axis values fail at expansion, before any simulation.
+	if _, err := Expand(Grid{Families: []string{"nosuch"}}, 1); err == nil {
+		t.Error("expected error for unknown family axis value")
+	}
+}
+
+// TestNsAxisClearsDerivedShape: sweeping n must re-derive side splits
+// rather than inheriting the base spec's.
+func TestNsAxisClearsDerivedShape(t *testing.T) {
+	grid := Grid{
+		Base: scenario.Spec{Graph: scenario.GraphSpec{Family: "dumbbell", N1: 8, N2: 8, Cut: 1}},
+		Ns:   []int{24},
+	}
+	units, err := Expand(grid, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := units[0].Spec.Resolve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Graph.NumNodes() != 24 {
+		t.Fatalf("graph has %d nodes, want 24 (stale side split?)", r.Graph.NumNodes())
+	}
+}
+
+// TestE4HeadlineSeparation reproduces the paper's headline claim from a
+// scenario grid: on the symmetric dumbbell, Algorithm A beats every
+// convex baseline, and the gap widens with n (convex Ω(n) vs A polylog).
+func TestE4HeadlineSeparation(t *testing.T) {
+	grid := Grid{
+		Base: scenario.Spec{
+			Graph: scenario.GraphSpec{Family: "dumbbell", Cut: 1},
+			Stop:  scenario.StopSpec{Trials: 3},
+		},
+		Ns:    []int{32, 64},
+		Algos: []string{"vanilla", "A"},
+	}
+	rep, err := Run(grid, Config{Workers: 2, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tav := map[string]float64{}
+	for _, c := range rep.Cells {
+		if c.Error != "" {
+			t.Fatalf("cell %s failed: %s", c.Label, c.Error)
+		}
+		tav[c.Label] = c.Tav
+	}
+	speedup32 := tav["dumbbell/n=32/cut=1/vanilla"] / tav["dumbbell/n=32/cut=1/A"]
+	speedup64 := tav["dumbbell/n=64/cut=1/vanilla"] / tav["dumbbell/n=64/cut=1/A"]
+	if speedup32 <= 1 {
+		t.Errorf("n=32: A should beat vanilla, speedup = %v", speedup32)
+	}
+	if speedup64 <= 1 {
+		t.Errorf("n=64: A should beat vanilla, speedup = %v", speedup64)
+	}
+	if speedup64 <= speedup32 {
+		t.Errorf("separation should widen with n: speedup(32)=%v, speedup(64)=%v", speedup32, speedup64)
+	}
+}
+
+// TestReportRoundTrip: WriteJSON/ReadReport is lossless.
+func TestReportRoundTrip(t *testing.T) {
+	grid := Grid{
+		Base:  scenario.Spec{Graph: scenario.GraphSpec{Family: "complete", N: 8}, Stop: scenario.StopSpec{Trials: 2}},
+		Algos: []string{"vanilla"},
+	}
+	rep, err := Run(grid, Config{Workers: 1, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := rep.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadReport(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Cells) != len(rep.Cells) || back.Seed != rep.Seed {
+		t.Fatal("round-trip lost cells or seed")
+	}
+	if back.Cells[0] != rep.Cells[0] {
+		t.Fatalf("cell changed in round trip:\n got %+v\nwant %+v", back.Cells[0], rep.Cells[0])
+	}
+	if tbl := rep.Table("t"); tbl.NumRows() != len(rep.Cells) {
+		t.Errorf("table has %d rows for %d cells", tbl.NumRows(), len(rep.Cells))
+	}
+	if _, ok := rep.CellByLabel(rep.Cells[0].Label); !ok {
+		t.Error("CellByLabel failed to find an existing label")
+	}
+}
+
+// TestCellErrorIsolated: a failing cell doesn't abort the sweep.
+func TestCellErrorIsolated(t *testing.T) {
+	grid := Grid{
+		Base: scenario.Spec{Stop: scenario.StopSpec{Trials: 1, MaxTime: 50}},
+		// hierdumbbell needs n >= 8: the n=6 cell fails, n=16 succeeds.
+		Families: []string{"hierdumbbell"},
+		Ns:       []int{6, 16},
+	}
+	rep, err := Run(grid, Config{Workers: 2, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Cells[0].Error == "" {
+		t.Error("n=6 cell should have failed")
+	}
+	if rep.Cells[1].Error != "" {
+		t.Errorf("n=16 cell failed: %s", rep.Cells[1].Error)
+	}
+}

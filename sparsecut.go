@@ -38,8 +38,10 @@ import (
 	"sparsecut/internal/gossip"
 	"sparsecut/internal/graph"
 	"sparsecut/internal/rng"
+	"sparsecut/internal/scenario"
 	"sparsecut/internal/sim"
 	"sparsecut/internal/spectral"
+	"sparsecut/internal/sweep"
 )
 
 // Re-exported graph types. External users interact with them through this
@@ -112,6 +114,20 @@ func PaperSwapWeight(p *Partition) float64 { return core.PaperWeight(p) }
 // paper's canonical sparse-cut graph — together with the planted partition.
 func NewDumbbell(n1, n2, cutEdges int) (*Graph, *Partition, error) {
 	return graph.Dumbbell(n1, n2, cutEdges)
+}
+
+// NewRingOfCliques returns `blocks` cliques of size m arranged in a
+// cycle, adjacent cliques joined by `bridges` edges, with the partition
+// splitting the ring into two arcs (|E12| = 2*bridges).
+func NewRingOfCliques(blocks, m, bridges int) (*Graph, *Partition, error) {
+	return graph.RingOfCliques(blocks, m, bridges)
+}
+
+// NewHierarchicalDumbbell returns a dumbbell of dumbbells: two symmetric
+// dumbbells (innerCut internal cut edges each) joined by outerCut edges —
+// two nested bottleneck scales. The partition is the outer cut.
+func NewHierarchicalDumbbell(n, innerCut, outerCut int) (*Graph, *Partition, error) {
+	return graph.HierarchicalDumbbell(n, innerCut, outerCut)
 }
 
 // NewPlantedPartition returns a random two-community graph: within-side
@@ -312,6 +328,48 @@ func NewAveragingExchange() ExchangeRule { return dist.NewVanillaRule() }
 // PaperSwapWeight(part) is the paper's literal choice.
 func NewSparseCutExchange(part *Partition, cutEdge EdgeID, epochTicks int64, weight float64) (ExchangeRule, error) {
 	return dist.NewSparseCutRule(part, cutEdge, epochTicks, weight)
+}
+
+// Declarative scenario specs and the deterministic parallel sweep engine,
+// re-exported from internal/scenario and internal/sweep. A Scenario names
+// one (graph family × parameters × algorithm × rate model) setup; a
+// SweepGrid multiplies axes over a base scenario and RunSweep evaluates
+// every cell's Definition-1 averaging time on a worker pool with results
+// that are bit-identical for any worker count.
+type (
+	// Scenario is a declarative simulation setup (JSON-serializable).
+	Scenario = scenario.Spec
+	// ScenarioGraph parameterises the graph family of a Scenario.
+	ScenarioGraph = scenario.GraphSpec
+	// ScenarioAlgo parameterises the algorithm of a Scenario.
+	ScenarioAlgo = scenario.AlgoSpec
+	// ScenarioStop sets a Scenario's Monte-Carlo budget.
+	ScenarioStop = scenario.StopSpec
+	// ResolvedScenario is a Scenario turned into simulation objects.
+	ResolvedScenario = scenario.Resolved
+	// SweepGrid is a base Scenario plus axes to sweep.
+	SweepGrid = sweep.Grid
+	// SweepConfig controls a sweep run (workers, root seed, progress).
+	SweepConfig = sweep.Config
+	// SweepReport is the machine-readable sweep result.
+	SweepReport = sweep.Report
+	// SweepCell is one finished grid cell.
+	SweepCell = sweep.Cell
+)
+
+// ResolveScenario validates a scenario spec and builds its graph,
+// partition, initial vector and rates.
+func ResolveScenario(s Scenario) (*ResolvedScenario, error) { return s.Resolve() }
+
+// ScenarioFamilies returns the canonical names of every registered graph
+// family — the full generator zoo reachable from specs and CLIs.
+func ScenarioFamilies() []string { return scenario.FamilyNames() }
+
+// RunSweep expands the grid and evaluates every cell on a worker pool.
+// Results are deterministic in the root seed and independent of the
+// worker count.
+func RunSweep(grid SweepGrid, cfg SweepConfig) (*SweepReport, error) {
+	return sweep.Run(grid, cfg)
 }
 
 // Experiment re-exports the evaluation-suite entry type.

@@ -276,3 +276,54 @@ func TestDecentralizedRuntimeFacade(t *testing.T) {
 		t.Fatal("no exchanges committed with the averaging rule")
 	}
 }
+
+func TestScenarioSweepFacade(t *testing.T) {
+	// The new composites are reachable from the facade...
+	g, part, err := NewRingOfCliques(4, 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes() != 16 || part.CutSize() != 2 {
+		t.Fatalf("ring of cliques: %d nodes, cut %d", g.NumNodes(), part.CutSize())
+	}
+	if _, part, err = NewHierarchicalDumbbell(16, 1, 1); err != nil || part.CutSize() != 1 {
+		t.Fatalf("hierarchical dumbbell: cut %d, err %v", part.CutSize(), err)
+	}
+	// ...and so is the whole registry.
+	fams := ScenarioFamilies()
+	if len(fams) < 15 {
+		t.Fatalf("only %d scenario families registered", len(fams))
+	}
+	res, err := ResolveScenario(Scenario{
+		Graph: ScenarioGraph{Family: "ringofcliques", N: 16},
+		Algo:  ScenarioAlgo{Name: "A"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Partition == nil {
+		t.Fatal("ring of cliques should resolve with a planted partition")
+	}
+	// A tiny sweep through the facade stays deterministic across workers.
+	grid := SweepGrid{
+		Base:  Scenario{Graph: ScenarioGraph{Family: "dumbbell", Cut: 1}, Stop: ScenarioStop{Trials: 2, MaxTime: 100}},
+		Ns:    []int{12},
+		Algos: []string{"vanilla", "A"},
+	}
+	rep1, err := RunSweep(grid, SweepConfig{Workers: 1, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep2, err := RunSweep(grid, SweepConfig{Workers: 2, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep1.Cells) != 2 || len(rep2.Cells) != 2 {
+		t.Fatalf("expected 2 cells, got %d and %d", len(rep1.Cells), len(rep2.Cells))
+	}
+	for i := range rep1.Cells {
+		if rep1.Cells[i] != rep2.Cells[i] {
+			t.Errorf("cell %d differs across worker counts", i)
+		}
+	}
+}
