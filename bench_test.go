@@ -13,12 +13,14 @@ package sparsecut
 
 import (
 	"io"
+	"math"
 	"strings"
 	"testing"
 
 	"sparsecut/internal/experiments"
 	"sparsecut/internal/gossip"
 	"sparsecut/internal/graph"
+	"sparsecut/internal/rng"
 	"sparsecut/internal/sim"
 	"sparsecut/internal/spectral"
 )
@@ -169,6 +171,63 @@ func BenchmarkSimulatorTrackedVanilla(b *testing.B) {
 		b.Fatal("tracked fast path unavailable")
 	}
 	b.ReportMetric(float64(eng.Events())/float64(b.N), "events/op")
+}
+
+// BenchmarkSimulatorVanillaBatchBridged measures the replica-batched
+// untracked hot path: 16 replicas in SoA lockstep, one uniform pick per
+// event, one Gamma bridge draw per 256-event chunk.
+func BenchmarkSimulatorVanillaBatchBridged(b *testing.B) {
+	g, part, err := graph.Dumbbell(64, 64, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	const replicas = 16
+	ens, err := gossip.NewVanillaEnsemble(g, gossip.CutIndicator(part), replicas)
+	if err != nil {
+		b.Fatal(err)
+	}
+	root := rng.New(1)
+	streams := make([]*rng.RNG, replicas)
+	for i := range streams {
+		streams[i] = root.Split()
+	}
+	eng, err := sim.NewBatchEngine(g, ens, streams)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	eng.RunEvents((int64(b.N) + replicas - 1) / replicas)
+}
+
+// BenchmarkSimulatorVanillaBatchTracked measures the replica-batched
+// averaging-time loop: eager per-event moments and exceedance compares on
+// the SoA rows, chunk-bridged clocks.
+func BenchmarkSimulatorVanillaBatchTracked(b *testing.B) {
+	g, part, err := graph.Dumbbell(64, 64, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	const replicas = 16
+	ens, err := gossip.NewVanillaEnsemble(g, gossip.CutIndicator(part), replicas)
+	if err != nil {
+		b.Fatal(err)
+	}
+	root := rng.New(1)
+	streams := make([]*rng.RNG, replicas)
+	for i := range streams {
+		streams[i] = root.Split()
+	}
+	eng, err := sim.NewBatchEngine(g, ens, streams)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var0 := ens.ReplicaVariance(0)
+	b.ResetTimer()
+	eng.RunTracked(sim.Tracked{
+		ExceedLevel: var0 * math.Exp(-2),
+		StopLevel:   -1, // unreachable: run every replica to the horizon
+		MaxTime:     float64(b.N) / float64(replicas*g.NumEdges()),
+	})
 }
 
 // BenchmarkSimulatorPerEdgeHeap measures the heap-based per-edge-clock

@@ -17,6 +17,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math"
 	"os"
 	"runtime"
 	"testing"
@@ -150,6 +151,55 @@ func microBenches() []MicroBench {
 			b.ResetTimer()
 			eng.RunEvents(int64(b.N))
 		}),
+		benchResult("simulator/vanilla-batch-bridged", func(b *testing.B) {
+			// The replica-batched untracked hot path: SoA rows, one
+			// uniform pick per event, one Gamma bridge draw per chunk.
+			b.ReportAllocs()
+			const replicas = 16
+			g, _, x0 := mustDumbbell()
+			ens, err := gossip.NewVanillaEnsemble(g, x0, replicas)
+			if err != nil {
+				b.Fatal(err)
+			}
+			eng, err := sim.NewBatchEngine(g, ens, batchStreams(replicas))
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			// Distribute b.N events across the replicas; the per-replica
+			// rounding is at most replicas-1 events of b.N.
+			eng.RunEvents((int64(b.N) + replicas - 1) / replicas)
+		}),
+		benchResult("simulator/vanilla-batch-tracked", func(b *testing.B) {
+			// The replica-batched averaging-time loop: per-event moments
+			// and exceedance compares, chunk-bridged clocks.
+			b.ReportAllocs()
+			const replicas = 16
+			g, _, x0 := mustDumbbell()
+			ens, err := gossip.NewVanillaEnsemble(g, x0, replicas)
+			if err != nil {
+				b.Fatal(err)
+			}
+			eng, err := sim.NewBatchEngine(g, ens, batchStreams(replicas))
+			if err != nil {
+				b.Fatal(err)
+			}
+			var0 := ens.ReplicaVariance(0)
+			b.ResetTimer()
+			eng.RunTracked(sim.Tracked{
+				ExceedLevel: var0 * math.Exp(-2),
+				StopLevel:   -1, // never stop on variance: run to the horizon
+				MaxTime:     float64(b.N) / float64(replicas*g.NumEdges()),
+			})
+		}),
+		benchResult("rng/gamma-int-256", func(b *testing.B) {
+			r := rng.New(1)
+			var sink float64
+			for i := 0; i < b.N; i++ {
+				sink += r.GammaInt(256)
+			}
+			_ = sink
+		}),
 		benchResult("rng/exp-unit", func(b *testing.B) {
 			r := rng.New(1)
 			var sink float64
@@ -169,26 +219,58 @@ func microBenches() []MicroBench {
 	}
 }
 
-// avgtimeBench times whole estimator runs but normalises by the actual
-// simulated event count, so its ns_per_event is comparable with the other
-// rows (it includes the per-trial setup and tracked-loop overhead).
-func avgtimeBench() (MicroBench, error) {
+// batchStreams derives one independent stream per replica, the way the
+// batched estimator does.
+func batchStreams(replicas int) []*rng.RNG {
+	root := rng.New(1)
+	streams := make([]*rng.RNG, replicas)
+	for i := range streams {
+		streams[i] = root.Split()
+	}
+	return streams
+}
+
+// avgtimeBenches times whole estimator runs on the same multi-trial
+// workload — the PR 2 per-replica tracked loop versus the replica-batched
+// bridged engine — normalising by the actual simulated event count, so
+// ns_per_event is comparable with the other rows (it includes per-trial
+// setup and tracked-loop overhead). The batched/legacy pair is the
+// headline comparison of BENCH_PR4.json.
+func avgtimeBenches() ([]MicroBench, error) {
 	g, part, err := graph.Dumbbell(64, 64, 1)
 	if err != nil {
-		return MicroBench{}, err
+		return nil, err
 	}
 	x0 := gossip.CutIndicator(part)
+	cfg := avgtime.Config{Trials: 15, Seed: 1, MaxTime: 1e4}
+
 	start := time.Now()
-	res, err := avgtime.Estimate(g, avgtime.VanillaFactory(g, x0),
-		avgtime.Config{Trials: 15, Seed: 1, MaxTime: 1e4})
+	res, err := avgtime.Estimate(g, avgtime.VanillaFactory(g, x0), cfg)
 	if err != nil {
-		return MicroBench{}, err
+		return nil, err
 	}
-	ns := float64(time.Since(start).Nanoseconds()) / float64(res.Events)
-	return MicroBench{
-		Name:         "avgtime/vanilla-dumbbell-per-event",
-		NsPerEvent:   ns,
-		EventsPerSec: 1e9 / ns,
+	legacyNs := float64(time.Since(start).Nanoseconds()) / float64(res.Events)
+
+	start = time.Now()
+	batched, err := avgtime.EstimateBatched(g, nil, func(replicas int, _ []*rng.RNG) (sim.BatchKernel, error) {
+		return gossip.NewVanillaEnsemble(g, x0, replicas)
+	}, cfg)
+	if err != nil {
+		return nil, err
+	}
+	batchedNs := float64(time.Since(start).Nanoseconds()) / float64(batched.Events)
+
+	return []MicroBench{
+		{
+			Name:         "avgtime/vanilla-dumbbell-per-event",
+			NsPerEvent:   legacyNs,
+			EventsPerSec: 1e9 / legacyNs,
+		},
+		{
+			Name:         "avgtime/batched-trials",
+			NsPerEvent:   batchedNs,
+			EventsPerSec: 1e9 / batchedNs,
+		},
 	}, nil
 }
 
@@ -209,11 +291,90 @@ func runExperiments(quick bool) ([]ExpTiming, error) {
 	return out, nil
 }
 
+// regressionRows are the micro benchmarks the -baseline check gates on:
+// the untracked fused simulator and the batched multi-trial estimator —
+// the two headline hot paths of the perf stack.
+var regressionRows = []string{"simulator/vanilla-fused", "avgtime/batched-trials"}
+
+// baselineFile accepts either a raw Report or a BENCH_PR<N>.json wrapper
+// whose "current" field holds one.
+type baselineFile struct {
+	Micro   []MicroBench `json:"micro"`
+	Current *Report      `json:"current"`
+}
+
+// loadBaseline reads the recorded baseline rows, keyed by name.
+func loadBaseline(path string) (map[string]MicroBench, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var bf baselineFile
+	if err := json.Unmarshal(raw, &bf); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	micro := bf.Micro
+	if bf.Current != nil {
+		micro = bf.Current.Micro
+	}
+	if len(micro) == 0 {
+		return nil, fmt.Errorf("%s: no micro benchmark rows", path)
+	}
+	rows := make(map[string]MicroBench, len(micro))
+	for _, m := range micro {
+		rows[m.Name] = m
+	}
+	return rows, nil
+}
+
+// checkRegression compares the gated rows against the baseline with a
+// multiplicative tolerance, reporting each verdict; it returns false when
+// any row regressed past tolerance.
+func checkRegression(current []MicroBench, baseline map[string]MicroBench, tolerance float64) bool {
+	rows := make(map[string]MicroBench, len(current))
+	for _, m := range current {
+		rows[m.Name] = m
+	}
+	ok := true
+	for _, name := range regressionRows {
+		base, haveBase := baseline[name]
+		cur, haveCur := rows[name]
+		switch {
+		case !haveBase:
+			fmt.Fprintf(os.Stderr, "bench: baseline has no row %q, skipping\n", name)
+		case !haveCur:
+			fmt.Fprintf(os.Stderr, "bench: REGRESSION %q missing from current run\n", name)
+			ok = false
+		case cur.NsPerEvent > tolerance*base.NsPerEvent:
+			fmt.Fprintf(os.Stderr, "bench: REGRESSION %q: %.2f ns/event vs baseline %.2f (tolerance %.1fx)\n",
+				name, cur.NsPerEvent, base.NsPerEvent, tolerance)
+			ok = false
+		default:
+			fmt.Fprintf(os.Stderr, "bench: ok %q: %.2f ns/event vs baseline %.2f (tolerance %.1fx)\n",
+				name, cur.NsPerEvent, base.NsPerEvent, tolerance)
+		}
+	}
+	return ok
+}
+
 func main() {
 	quick := flag.Bool("quick", false, "run experiments in CI-sized quick mode")
 	outPath := flag.String("out", "", "write the JSON report to this file (default stdout)")
 	skipExperiments := flag.Bool("no-experiments", false, "benchmark only the micro hot paths")
+	baselinePath := flag.String("baseline", "", "compare the gated hot-path rows against this recorded report; exit 1 on regression")
+	baselineTol := flag.Float64("baseline-tolerance", 2, "multiplicative ns/event tolerance for -baseline (generous: single-CPU CI noise)")
 	flag.Parse()
+
+	// Load the baseline before any output is written, so -out may safely
+	// overwrite the baseline file itself.
+	var baseline map[string]MicroBench
+	if *baselinePath != "" {
+		var err error
+		if baseline, err = loadBaseline(*baselinePath); err != nil {
+			fmt.Fprintln(os.Stderr, "bench:", err)
+			os.Exit(1)
+		}
+	}
 
 	rep := Report{
 		Schema:      "sparsecut-bench/v1",
@@ -225,12 +386,12 @@ func main() {
 		Quick:       *quick,
 	}
 	rep.Micro = microBenches()
-	avg, err := avgtimeBench()
+	avg, err := avgtimeBenches()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "bench:", err)
 		os.Exit(1)
 	}
-	rep.Micro = append(rep.Micro, avg)
+	rep.Micro = append(rep.Micro, avg...)
 	if !*skipExperiments {
 		exps, err := runExperiments(*quick)
 		if err != nil {
@@ -248,11 +409,14 @@ func main() {
 	enc = append(enc, '\n')
 	if *outPath == "" {
 		os.Stdout.Write(enc)
-		return
+	} else {
+		if err := os.WriteFile(*outPath, enc, 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "bench:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s (%d micro benchmarks, %d experiments)\n", *outPath, len(rep.Micro), len(rep.Experiments))
 	}
-	if err := os.WriteFile(*outPath, enc, 0o644); err != nil {
-		fmt.Fprintln(os.Stderr, "bench:", err)
+	if baseline != nil && !checkRegression(rep.Micro, baseline, *baselineTol) {
 		os.Exit(1)
 	}
-	fmt.Printf("wrote %s (%d micro benchmarks, %d experiments)\n", *outPath, len(rep.Micro), len(rep.Experiments))
 }

@@ -21,6 +21,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 
@@ -47,6 +49,8 @@ func main() {
 		jsonOut  = flag.String("json", "", "write the JSON report to this file ('-' = stdout, replacing the table)")
 		quiet    = flag.Bool("q", false, "suppress per-cell progress on stderr")
 		list     = flag.Bool("families", false, "list the graph-family registry and exit")
+		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile of the grid run to this file (go tool pprof)")
+		memProf  = flag.String("memprofile", "", "write a post-run heap profile to this file (go tool pprof)")
 	)
 	flag.Parse()
 
@@ -105,9 +109,41 @@ func main() {
 			fmt.Fprintf(os.Stderr, "[%d/%d] %-40s Tav=%s\n", done, total, c.Label, status)
 		}
 	}
+	// Profile exactly the grid run — flag parsing, expansion and report
+	// rendering stay outside the window, so profiles compare across PRs.
+	var cpuFile *os.File
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		cpuFile = f
+	}
 	rep, err := sweep.Run(grid, cfg)
+	if cpuFile != nil {
+		pprof.StopCPUProfile()
+		if cerr := cpuFile.Close(); cerr != nil {
+			fatal(cerr)
+		}
+	}
 	if err != nil {
 		fatal(err)
+	}
+	if *memProf != "" {
+		f, err := os.Create(*memProf)
+		if err != nil {
+			fatal(err)
+		}
+		runtime.GC() // report retained heap, not transient garbage
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
 	}
 
 	switch *jsonOut {

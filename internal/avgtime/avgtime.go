@@ -72,9 +72,15 @@ type Config struct {
 	// reaching it above the margin are counted in Result.Censored.
 	MaxTime float64
 	// Scheduler selects the event generator (default sim.GlobalClock).
+	// Ignored by EstimateBatched.
 	Scheduler sim.SchedulerKind
 	// Seed seeds the trial streams (default 1).
 	Seed uint64
+	// BatchWidth caps the number of trials resident per replica batch in
+	// EstimateBatched (0 = all trials in one batch). It bounds memory
+	// only; the Result is byte-identical for any width. Ignored by
+	// Estimate.
+	BatchWidth int
 }
 
 func (c Config) withDefaults() Config {
@@ -119,6 +125,20 @@ func (c Config) validate() error {
 		return fmt.Errorf("avgtime: quiet time %v negative", c.QuietTime)
 	}
 	return nil
+}
+
+// quietFor derives the trial's quiet period: the configured QuietTime,
+// defaulting to twice the algorithm's epoch-duration hint when it
+// provides one and 1 otherwise. Shared by the per-event and batched
+// estimators so the Definition-1 stop rule cannot drift between them.
+func (c Config) quietFor(alg any) float64 {
+	if c.QuietTime != 0 {
+		return c.QuietTime
+	}
+	if h, ok := alg.(EpochHinter); ok {
+		return 2 * h.EpochDuration()
+	}
+	return 1
 }
 
 // Result summarises an estimation run.
@@ -200,13 +220,7 @@ func runTrial(g *graph.Graph, rates []float64, alg gossip.Algorithm, r *rng.RNG,
 	if var0 == 0 {
 		return 0, false, 0, nil // already averaged
 	}
-	quiet := cfg.QuietTime
-	if quiet == 0 {
-		quiet = 1
-		if h, ok := alg.(EpochHinter); ok {
-			quiet = 2 * h.EpochDuration()
-		}
-	}
+	quiet := cfg.quietFor(alg)
 	stopMargin := cfg.Threshold * cfg.MarginFactor
 	opts := []sim.Option{sim.WithRNG(r), sim.WithScheduler(cfg.Scheduler)}
 	if rates != nil {

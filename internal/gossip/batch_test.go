@@ -1,0 +1,231 @@
+package gossip
+
+import (
+	"math"
+	"testing"
+
+	"sparsecut/internal/graph"
+	"sparsecut/internal/rng"
+)
+
+// randomPicks returns a deterministic pseudo-random edge sequence.
+func randomPicks(seed uint64, g *graph.Graph, n int) []graph.EdgeID {
+	r := rng.New(seed)
+	picks := make([]graph.EdgeID, n)
+	for i := range picks {
+		picks[i] = graph.EdgeID(r.Intn(g.NumEdges()))
+	}
+	return picks
+}
+
+// The tracked batch updates must be bit-identical to the per-event State
+// sequence: same rows, same moments, same variance — for vanilla and
+// convex, on a replica other than 0 (so row addressing is exercised).
+func TestBatchTrackedBitIdenticalToState(t *testing.T) {
+	g, part, err := graph.Dumbbell(9, 9, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x0 := CutIndicator(part)
+	eu, ev := g.EdgeU(), g.EdgeV()
+	picks := randomPicks(5, g, 4096)
+	const rep = 2
+
+	t.Run("vanilla", func(t *testing.T) {
+		st := NewState(x0)
+		bs := NewBatchState(x0, 3)
+		level := st.Variance() * math.Exp(-2)
+		for lo := 0; lo < len(picks); lo += 256 {
+			bs.AverageEdgeBatchTracked(rep, picks[lo:lo+256], eu, ev, level)
+		}
+		for _, e := range picks {
+			st.AverageEdge(int(eu[e]), int(ev[e]))
+		}
+		compareRowToState(t, bs, rep, st)
+	})
+
+	t.Run("convex", func(t *testing.T) {
+		const alpha = 0.73
+		st := NewState(x0)
+		bs := NewBatchState(x0, 3)
+		level := st.Variance() * math.Exp(-2)
+		for lo := 0; lo < len(picks); lo += 256 {
+			bs.ConvexEdgeBatchTracked(rep, picks[lo:lo+256], eu, ev, alpha, level)
+		}
+		for _, e := range picks {
+			st.ConvexEdge(int(eu[e]), int(ev[e]), alpha)
+		}
+		compareRowToState(t, bs, rep, st)
+	})
+}
+
+func compareRowToState(t *testing.T, bs *BatchState, rep int, st *State) {
+	t.Helper()
+	row := make([]float64, bs.N())
+	bs.CopyInto(rep, row)
+	want := st.Values()
+	for i := range row {
+		if math.Float64bits(row[i]) != math.Float64bits(want[i]) {
+			t.Fatalf("node %d: %v batched vs %v state", i, row[i], want[i])
+		}
+	}
+	if gotV, wantV := bs.Variance(rep), st.Variance(); math.Float64bits(gotV) != math.Float64bits(wantV) {
+		t.Errorf("variance %v batched vs %v state", gotV, wantV)
+	}
+	if gotM, wantM := bs.Mean(rep), st.Mean(); math.Float64bits(gotM) != math.Float64bits(wantM) {
+		t.Errorf("mean %v batched vs %v state", gotM, wantM)
+	}
+}
+
+// The lazy batch entry points must store the same rows as the tracked
+// ones; their deferred moments resync exactly on the next read.
+func TestBatchLazyMatchesTracked(t *testing.T) {
+	g, part, err := graph.Dumbbell(8, 8, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x0 := CutIndicator(part)
+	eu, ev := g.EdgeU(), g.EdgeV()
+	picks := randomPicks(11, g, 2048)
+
+	lazy := NewBatchState(x0, 2)
+	eager := NewBatchState(x0, 2)
+	for lo := 0; lo < len(picks); lo += 256 {
+		lazy.AverageEdgeBatch(1, picks[lo:lo+256], eu, ev)
+		eager.AverageEdgeBatchTracked(1, picks[lo:lo+256], eu, ev, 0.1)
+	}
+	a, b := make([]float64, lazy.N()), make([]float64, eager.N())
+	lazy.CopyInto(1, a)
+	eager.CopyInto(1, b)
+	for i := range a {
+		if math.Float64bits(a[i]) != math.Float64bits(b[i]) {
+			t.Fatalf("node %d: %v lazy vs %v tracked", i, a[i], b[i])
+		}
+	}
+	// The lazy read resyncs exactly; the eager moments carry float drift
+	// bounded far below any threshold the estimator compares against.
+	if lv, ev2 := lazy.Variance(1), eager.Variance(1); math.Abs(lv-ev2) > 1e-12 {
+		t.Errorf("variance %v lazy vs %v tracked", lv, ev2)
+	}
+}
+
+// The last-exceedance index returned by the tracked chunk must match a
+// per-event replay against State.Variance.
+func TestBatchTrackedLastIndex(t *testing.T) {
+	g, part, err := graph.Dumbbell(8, 8, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x0 := CutIndicator(part)
+	eu, ev := g.EdgeU(), g.EdgeV()
+	st := NewState(x0)
+	level := st.Variance() * math.Exp(-2)
+
+	bs := NewBatchState(x0, 1)
+	picks := randomPicks(3, g, 8192)
+	for lo := 0; lo < len(picks); lo += 256 {
+		chunk := picks[lo : lo+256]
+		gotIdx, _ := bs.AverageEdgeBatchTracked(0, chunk, eu, ev, level)
+		wantIdx := -1
+		for k, e := range chunk {
+			st.AverageEdge(int(eu[e]), int(ev[e]))
+			if st.Variance() > level {
+				wantIdx = k
+			}
+		}
+		if gotIdx != wantIdx {
+			t.Fatalf("chunk at %d: last exceedance index %d batched vs %d replay", lo, gotIdx, wantIdx)
+		}
+	}
+}
+
+// The push-sum ensemble must replay the legacy PushSum bit-for-bit when
+// driven by the same direction stream and edge sequence.
+func TestPushSumEnsembleMatchesLegacy(t *testing.T) {
+	g, part, err := graph.Dumbbell(7, 7, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x0 := CutIndicator(part)
+	picks := randomPicks(9, g, 3000)
+
+	legacy, err := NewPushSum(g, x0, rng.New(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ens, err := NewPushSumEnsemble(g, x0, []*rng.RNG{rng.New(41), rng.New(42)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	level := legacy.Variance() * math.Exp(-2)
+	for lo := 0; lo < len(picks); lo += 256 {
+		hi := min(lo+256, len(picks))
+		ens.TickChunkTracked(1, picks[lo:hi], level)
+	}
+	for _, e := range picks {
+		legacy.HandleTick(e, 0)
+	}
+	got := make([]float64, g.NumNodes())
+	ens.CopyInto(1, got)
+	want := legacy.Values()
+	for i := range got {
+		if math.Float64bits(got[i]) != math.Float64bits(want[i]) {
+			t.Fatalf("node %d: %v ensemble vs %v legacy", i, got[i], want[i])
+		}
+	}
+	if gv, wv := ens.ReplicaVariance(1), legacy.Variance(); math.Abs(gv-wv) > 1e-12 {
+		t.Errorf("variance %v ensemble vs %v legacy", gv, wv)
+	}
+}
+
+// Replicas must be fully independent: an untouched replica keeps its
+// initial row while its neighbours evolve.
+func TestBatchReplicaIsolation(t *testing.T) {
+	g, part, err := graph.Dumbbell(6, 6, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x0 := CutIndicator(part)
+	ens, err := NewVanillaEnsemble(g, x0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	picks := randomPicks(77, g, 512)
+	ens.TickChunk(0, picks[:256])
+	ens.TickChunk(2, picks[256:])
+	row := make([]float64, g.NumNodes())
+	ens.CopyInto(1, row)
+	for i, v := range row {
+		if v != x0[i] {
+			t.Fatalf("untouched replica drifted at node %d: %v != %v", i, v, x0[i])
+		}
+	}
+	v0 := NewState(x0).Variance()
+	if ens.ReplicaVariance(0) >= v0 || ens.ReplicaVariance(2) >= v0 {
+		t.Error("ticked replicas should have reduced variance")
+	}
+}
+
+// Ensemble constructors must validate their inputs.
+func TestEnsembleValidation(t *testing.T) {
+	g, part, err := graph.Dumbbell(4, 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x0 := CutIndicator(part)
+	if _, err := NewVanillaEnsemble(g, x0[:3], 2); err == nil {
+		t.Error("length mismatch not rejected")
+	}
+	if _, err := NewVanillaEnsemble(g, x0, 0); err == nil {
+		t.Error("zero replicas not rejected")
+	}
+	if _, err := NewConvexEnsemble(g, x0, 1.5, 2); err == nil {
+		t.Error("alpha > 1 not rejected")
+	}
+	if _, err := NewPushSumEnsemble(g, x0, nil); err == nil {
+		t.Error("empty stream list not rejected")
+	}
+	if _, err := NewPushSumEnsemble(g, x0, []*rng.RNG{rng.New(1), nil}); err == nil {
+		t.Error("nil stream not rejected")
+	}
+}

@@ -4,6 +4,8 @@ import (
 	"math"
 	"testing"
 	"testing/quick"
+
+	"sparsecut/internal/stats"
 )
 
 func TestNewDeterministic(t *testing.T) {
@@ -424,4 +426,87 @@ func TestZigguratTablesClose(t *testing.T) {
 			t.Fatalf("zigX not strictly decreasing at %d: %v >= %v", i, zigX[i+1], zigX[i])
 		}
 	}
+}
+
+// GammaInt(k) must have mean k and variance k — checked for small and
+// chunk-sized shapes with Monte-Carlo tolerances of a few sigma.
+func TestGammaIntMoments(t *testing.T) {
+	r := New(9)
+	for _, k := range []int{1, 2, 3, 16, 256} {
+		const n = 30000
+		sum, sumSq := 0.0, 0.0
+		for i := 0; i < n; i++ {
+			v := r.GammaInt(k)
+			if !(v > 0) {
+				t.Fatalf("GammaInt(%d) returned non-positive %v", k, v)
+			}
+			sum += v
+			sumSq += v * v
+		}
+		mean := sum / n
+		variance := sumSq/n - mean*mean
+		fk := float64(k)
+		// Mean of n samples has sd sqrt(k/n); allow 5 sigma.
+		if tol := 5 * math.Sqrt(fk/n); math.Abs(mean-fk) > tol {
+			t.Errorf("GammaInt(%d): mean %v, want %v ± %v", k, mean, fk, tol)
+		}
+		// Var estimate sd ~ sqrt(2/n)·k·(1 + o(1)); allow a loose 8 sigma.
+		if tol := 8 * fk * math.Sqrt(2.0/n); math.Abs(variance-fk) > tol {
+			t.Errorf("GammaInt(%d): variance %v, want %v ± %v", k, variance, fk, tol)
+		}
+	}
+}
+
+// GammaInt(1) must be exactly the ExpUnit stream: the time-bridged
+// simulator with chunk size 1 then consumes gap draws identical to the
+// per-event path.
+func TestGammaIntShapeOneIsExpUnit(t *testing.T) {
+	a, b := New(17), New(17)
+	for i := 0; i < 1000; i++ {
+		if got, want := a.GammaInt(1), b.ExpUnit(); math.Float64bits(got) != math.Float64bits(want) {
+			t.Fatalf("draw %d: GammaInt(1) = %v, ExpUnit = %v", i, got, want)
+		}
+	}
+}
+
+// A Gamma(k) sum-of-chunks must be equidistributed with the per-event sum
+// of k exponentials: compare the empirical CDFs of 256-event bridge draws
+// against sums of 256 ExpUnit draws by a two-sample KS test.
+func TestGammaIntBridgeMatchesExpSum(t *testing.T) {
+	const k, n = 256, 1500
+	r := New(23)
+	bridged := make([]float64, n)
+	summed := make([]float64, n)
+	for i := 0; i < n; i++ {
+		bridged[i] = r.GammaInt(k)
+		s := 0.0
+		for j := 0; j < k; j++ {
+			s += r.ExpUnit()
+		}
+		summed[i] = s
+	}
+	d := stats.KSDistance(bridged, summed)
+	// Two-sample KS critical value at alpha = 0.001: 1.949·sqrt(2/n).
+	if crit := 1.949 * math.Sqrt(2.0/n); d > crit {
+		t.Errorf("KS distance %v between Gamma(256) and sum of 256 exponentials exceeds %v", d, crit)
+	}
+}
+
+func TestGammaIntDeterministic(t *testing.T) {
+	a, b := New(101), New(101)
+	for i := 0; i < 200; i++ {
+		x, y := a.GammaInt(64), b.GammaInt(64)
+		if math.Float64bits(x) != math.Float64bits(y) {
+			t.Fatalf("draw %d diverged: %v vs %v", i, x, y)
+		}
+	}
+}
+
+func TestGammaIntPanicsOnBadShape(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("shape < 1 not rejected")
+		}
+	}()
+	New(1).GammaInt(0)
 }

@@ -197,9 +197,10 @@ func (r *Resolved) Monotone() bool {
 // trial streams seeded from the scenario root.
 func (r *Resolved) AvgtimeConfig() avgtime.Config {
 	cfg := avgtime.Config{
-		Trials:  r.Spec.Stop.Trials,
-		MaxTime: r.Spec.Stop.MaxTime,
-		Seed:    r.trialSeed,
+		Trials:     r.Spec.Stop.Trials,
+		MaxTime:    r.Spec.Stop.MaxTime,
+		Seed:       r.trialSeed,
+		BatchWidth: r.Spec.Stop.BatchWidth,
 	}
 	if cfg.MaxTime == 0 {
 		cfg.MaxTime = 60 * float64(r.Graph.NumNodes())
@@ -210,8 +211,39 @@ func (r *Resolved) AvgtimeConfig() avgtime.Config {
 	return cfg
 }
 
+// EnsembleFactory returns the replica-batched kernel factory for
+// algorithms with an ensemble implementation — vanilla, convex and
+// push-sum — and ok = false for Algorithm A, whose epoch machinery needs
+// materialised per-event times and therefore stays on the per-event path.
+func (r *Resolved) EnsembleFactory() (avgtime.EnsembleFactory, bool) {
+	switch r.Spec.Algo.Name {
+	case "vanilla":
+		return func(replicas int, _ []*rng.RNG) (sim.BatchKernel, error) {
+			return gossip.NewVanillaEnsemble(r.Graph, r.X0, replicas)
+		}, true
+	case "convex":
+		alpha := r.Spec.Algo.Alpha
+		return func(replicas int, _ []*rng.RNG) (sim.BatchKernel, error) {
+			return gossip.NewConvexEnsemble(r.Graph, r.X0, alpha, replicas)
+		}, true
+	case "pushsum":
+		return func(_ int, algStreams []*rng.RNG) (sim.BatchKernel, error) {
+			return gossip.NewPushSumEnsemble(r.Graph, r.X0, algStreams)
+		}, true
+	default:
+		return nil, false
+	}
+}
+
 // Estimate runs the paper's Definition-1 Monte-Carlo averaging-time
 // estimator for this scenario (censoring-aware, like internal/avgtime).
+// Scenarios whose algorithm has a replica-batched ensemble form route
+// through the bridged sim.BatchEngine — the sweep hot path; Algorithm A
+// runs the per-event tracked loop. Either way the result is a
+// deterministic function of the spec alone.
 func (r *Resolved) Estimate() (avgtime.Result, error) {
+	if factory, ok := r.EnsembleFactory(); ok {
+		return avgtime.EstimateBatched(r.Graph, r.Rates, factory, r.AvgtimeConfig())
+	}
 	return avgtime.EstimateWithRates(r.Graph, r.Rates, r.Factory(), r.AvgtimeConfig())
 }

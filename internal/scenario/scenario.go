@@ -85,6 +85,10 @@ type StopSpec struct {
 	// horizon — generous for Algorithm A, tight enough to censor convex
 	// runs that Theorem 1 says cannot finish).
 	MaxTime float64 `json:"max_time,omitempty"`
+	// BatchWidth caps the trials resident per replica batch when the
+	// algorithm runs on the batched engine (0 = all trials in one batch).
+	// Memory only: the estimate is byte-identical for any width.
+	BatchWidth int `json:"batch_width,omitempty"`
 }
 
 // Spec is a complete scenario: everything needed to reproduce one

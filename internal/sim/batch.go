@@ -1,0 +1,303 @@
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/bits"
+
+	"sparsecut/internal/graph"
+	"sparsecut/internal/rng"
+)
+
+// BatchKernel is the algorithm side of the replica-batched engine: R
+// independent replicas of one algorithm over a shared graph, with the
+// value state held in a structure-of-arrays buffer (gossip.BatchState).
+// The engine owns event sampling and simulated time; the kernel owns the
+// per-event state updates. Methods are replica-addressed because the
+// engine round-robins chunks across replicas — replica rep's chunk touches
+// only row rep, while the graph's flat arrays are shared by all.
+type BatchKernel interface {
+	// Replicas returns the batch width R.
+	Replicas() int
+	// TickChunk applies the algorithm's update for a chunk of ticks of
+	// replica rep, values only (moment bookkeeping may be deferred) — the
+	// untracked fast path.
+	TickChunk(rep int, edges []graph.EdgeID)
+	// TickChunkTracked applies the chunk with eager per-event moments and
+	// returns the index within edges of the last event whose post-tick
+	// variance exceeded exceedLevel (-1 when none did), together with the
+	// post-chunk variance.
+	TickChunkTracked(rep int, edges []graph.EdgeID, exceedLevel float64) (lastIdx int, endVar float64)
+	// ReplicaVariance returns replica rep's current variance.
+	ReplicaVariance(rep int) float64
+}
+
+// chunkSize is the number of per-replica events per bridge draw. It is a
+// fixed constant — never a function of the batch width — because each
+// replica's chunk boundaries are part of its deterministic trajectory:
+// the same replica stream must see the same chunks whether it runs alone
+// or interleaved with 63 others.
+const chunkSize = batchSize
+
+// BatchEngine advances R independent replicas of one scenario in
+// interleaved lockstep: the graph's flat endpoint arrays and the (single)
+// alias table are loaded once and stay hot while the engine round-robins
+// fixed-size chunks across the replicas. Each replica consumes only its
+// own RNG stream, so its trajectory is byte-identical for any batch width
+// and any interleaving (the package tests prove R=1 versus R=64).
+//
+// Time is Poisson-bridged: the superposed edge process is Poisson at the
+// total rate, so the elapsed time of a k-event chunk is Gamma(k) scaled by
+// the mean gap — one GammaInt draw replaces k per-event exponential draws,
+// leaving one uniform (the edge pick) as the only per-event randomness.
+// Event times inside a chunk are not materialised; when the tracked run
+// needs one (the last exceedance of the averaging-time statistic, landing
+// strictly inside a chunk) it is resolved by the order-statistics identity
+// S_j | S_k = D  ~  D·Beta(j, k−j), costing two GammaInt draws for that
+// chunk only. The per-event Engine remains the distribution-reference
+// oracle; the avgtime package KS-tests the two against each other.
+type BatchEngine struct {
+	g        *graph.Graph
+	kern     BatchKernel
+	uniform  bool
+	numEdges uint64
+	alias    *aliasTable // nil when uniform
+	invTotal float64
+	reps     []batchReplica
+	picks    []graph.EdgeID // chunk scratch, shared across replicas
+}
+
+type batchReplica struct {
+	r      *rng.RNG
+	now    float64
+	events int64
+}
+
+// BatchOption configures NewBatchEngine.
+type BatchOption func(*batchConfig)
+
+type batchConfig struct {
+	rates []float64
+}
+
+// WithBatchRates sets per-edge clock rates; len must equal g.NumEdges()
+// and all rates must be positive. The default is rate 1 on every edge.
+// Heterogeneous rates cost nothing extra per event — the superposition is
+// still Poisson at the total rate, and the pick goes through the shared
+// alias table.
+func WithBatchRates(rates []float64) BatchOption {
+	return func(c *batchConfig) { c.rates = rates }
+}
+
+// NewBatchEngine builds a replica-batched engine for g driving kern, with
+// one independent RNG stream per replica (len(streams) must equal
+// kern.Replicas(); derive them with rng.Split or per-replica seeds).
+func NewBatchEngine(g *graph.Graph, kern BatchKernel, streams []*rng.RNG, opts ...BatchOption) (*BatchEngine, error) {
+	if kern == nil {
+		return nil, errors.New("sim: nil batch kernel")
+	}
+	if g.NumEdges() == 0 {
+		return nil, fmt.Errorf("sim: %s has no edges to tick", g)
+	}
+	if len(streams) != kern.Replicas() {
+		return nil, fmt.Errorf("sim: %d streams for %d replicas", len(streams), kern.Replicas())
+	}
+	var cfg batchConfig
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	rates := cfg.rates
+	if rates == nil {
+		rates = make([]float64, g.NumEdges())
+		for i := range rates {
+			rates[i] = 1
+		}
+	}
+	if len(rates) != g.NumEdges() {
+		return nil, fmt.Errorf("sim: %d rates for %d edges", len(rates), g.NumEdges())
+	}
+	for i, r := range rates {
+		if r <= 0 || math.IsNaN(r) || math.IsInf(r, 0) {
+			return nil, fmt.Errorf("sim: invalid rate %v for edge %d", r, i)
+		}
+	}
+	be := &BatchEngine{
+		g:        g,
+		kern:     kern,
+		uniform:  true,
+		numEdges: uint64(g.NumEdges()),
+		reps:     make([]batchReplica, len(streams)),
+		picks:    make([]graph.EdgeID, chunkSize),
+	}
+	for _, r := range rates {
+		if r != rates[0] {
+			be.uniform = false
+			break
+		}
+	}
+	total := 0.0
+	if be.uniform {
+		total = rates[0] * float64(len(rates))
+	} else {
+		be.alias = newAliasTable(rates)
+		for _, r := range rates {
+			total += r
+		}
+	}
+	be.invTotal = 1 / total
+	for rep, r := range streams {
+		if r == nil {
+			return nil, fmt.Errorf("sim: replica %d stream is nil", rep)
+		}
+		be.reps[rep].r = r
+	}
+	return be, nil
+}
+
+// Graph returns the simulated graph.
+func (be *BatchEngine) Graph() *graph.Graph { return be.g }
+
+// Replicas returns the batch width R.
+func (be *BatchEngine) Replicas() int { return len(be.reps) }
+
+// Events returns the total tick count across all replicas.
+func (be *BatchEngine) Events() int64 {
+	var n int64
+	for i := range be.reps {
+		n += be.reps[i].events
+	}
+	return n
+}
+
+// ReplicaNow returns replica rep's current simulated time.
+func (be *BatchEngine) ReplicaNow(rep int) float64 { return be.reps[rep].now }
+
+// ReplicaEvents returns replica rep's tick count.
+func (be *BatchEngine) ReplicaEvents(rep int) int64 { return be.reps[rep].events }
+
+// fillPicks samples one ticking edge per event into dst from the replica
+// stream r — the Lemire pick of rng.Intn inlined for the uniform-rate
+// case, the shared alias table otherwise. This is the only per-event
+// randomness of the bridged path.
+func (be *BatchEngine) fillPicks(r *rng.RNG, dst []graph.EdgeID) {
+	if be.uniform {
+		bound := be.numEdges
+		for k := range dst {
+			hi, lo := bits.Mul64(r.Uint64(), bound)
+			if lo < bound {
+				hi = r.IntnSlow(hi, lo, bound)
+			}
+			dst[k] = graph.EdgeID(hi)
+		}
+		return
+	}
+	al := be.alias
+	for k := range dst {
+		dst[k] = graph.EdgeID(al.pick(r))
+	}
+}
+
+// RunEvents advances every replica by exactly n further events (untracked:
+// lazy moments, bridged clocks). Chunks are interleaved across replicas in
+// round-robin order; per-replica trajectories do not depend on the
+// interleaving.
+func (be *BatchEngine) RunEvents(n int64) {
+	target := make([]int64, len(be.reps))
+	for rep := range be.reps {
+		target[rep] = be.reps[rep].events + n
+	}
+	for {
+		active := false
+		for rep := range be.reps {
+			r := &be.reps[rep]
+			if r.events >= target[rep] {
+				continue
+			}
+			active = true
+			m := int(min(target[rep]-r.events, chunkSize))
+			picks := be.picks[:m]
+			be.fillPicks(r.r, picks)
+			be.kern.TickChunk(rep, picks)
+			r.now += r.r.GammaInt(m) * be.invTotal
+			r.events += int64(m)
+		}
+		if !active {
+			return
+		}
+	}
+}
+
+// RunTracked drives every replica under the averaging-time stop rule of
+// Engine.RunTracked, evaluated at chunk granularity: a replica stops once
+// its simulated time reaches MaxTime, or once its variance is below
+// StopLevel and Quiet time has passed since its last exceedance, checked
+// before each chunk (so a run may overshoot the legacy stop point by up to
+// one chunk; the recorded last-exceedance statistic is unaffected for
+// variance-monotone algorithms and distributionally indistinguishable
+// otherwise — the avgtime KS tests cover both). It returns one
+// TrackedResult per replica.
+func (be *BatchEngine) RunTracked(cfg Tracked) []TrackedResult {
+	res := make([]TrackedResult, len(be.reps))
+	type trackState struct {
+		v          float64
+		lastExceed float64
+		done       bool
+	}
+	states := make([]trackState, len(be.reps))
+	for rep := range states {
+		states[rep].v = be.kern.ReplicaVariance(rep)
+	}
+	for {
+		active := false
+		for rep := range be.reps {
+			st := &states[rep]
+			if st.done {
+				continue
+			}
+			r := &be.reps[rep]
+			if r.now >= cfg.MaxTime {
+				st.done = true
+				res[rep] = TrackedResult{
+					LastExceed: st.lastExceed,
+					Censored:   st.v >= cfg.StopLevel,
+				}
+				continue
+			}
+			if st.v < cfg.StopLevel && r.now >= st.lastExceed+cfg.Quiet {
+				st.done = true
+				res[rep] = TrackedResult{LastExceed: st.lastExceed}
+				continue
+			}
+			active = true
+			picks := be.picks[:chunkSize]
+			be.fillPicks(r.r, picks)
+			lastIdx, endVar := be.kern.TickChunkTracked(rep, picks, cfg.ExceedLevel)
+			start := r.now
+			d := r.r.GammaInt(chunkSize) * be.invTotal
+			r.now = start + d
+			r.events += chunkSize
+			st.v = endVar
+			switch {
+			case lastIdx == chunkSize-1:
+				// The last event of the chunk exceeded: its time is the
+				// chunk end — no extra draw. While the variance is above
+				// the threshold this is every chunk, so the steady state
+				// costs one Gamma draw per chunk total.
+				st.lastExceed = r.now
+			case lastIdx >= 0:
+				// The last exceedance lies strictly inside the chunk:
+				// conditioned on the chunk duration d, the j-th event time
+				// is d·Beta(j, k−j) past the chunk start, sampled as
+				// G₁/(G₁+G₂) with G₁ ~ Gamma(j), G₂ ~ Gamma(k−j).
+				j := lastIdx + 1
+				g1 := r.r.GammaInt(j)
+				g2 := r.r.GammaInt(chunkSize - j)
+				st.lastExceed = start + d*(g1/(g1+g2))
+			}
+		}
+		if !active {
+			return res
+		}
+	}
+}

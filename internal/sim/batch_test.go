@@ -1,0 +1,263 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"sparsecut/internal/gossip"
+	"sparsecut/internal/graph"
+	"sparsecut/internal/rng"
+)
+
+func batchFixture(t *testing.T) (*graph.Graph, []float64) {
+	t.Helper()
+	g, part, err := graph.Dumbbell(12, 12, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g, gossip.CutIndicator(part)
+}
+
+// replicaSeeds derives one stream seed per replica the way the avgtime
+// estimator does: a fixed per-replica value independent of the batch
+// grouping.
+func replicaSeeds(n int) []uint64 {
+	seeds := make([]uint64, n)
+	for i := range seeds {
+		seeds[i] = uint64(1000 + 7*i)
+	}
+	return seeds
+}
+
+func streamsFor(seeds []uint64) []*rng.RNG {
+	streams := make([]*rng.RNG, len(seeds))
+	for i, s := range seeds {
+		streams[i] = rng.New(s)
+	}
+	return streams
+}
+
+// A replica's untracked trajectory must be byte-identical whether it runs
+// alone (R=1) or interleaved in a wide batch (R=8) — values, clock and
+// event count.
+func TestBatchEngineWidthDeterminism(t *testing.T) {
+	g, x0 := batchFixture(t)
+	seeds := replicaSeeds(8)
+	const events = 5000
+
+	wide, err := gossip.NewVanillaEnsemble(g, x0, len(seeds))
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := NewBatchEngine(g, wide, streamsFor(seeds))
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.RunEvents(events)
+
+	for rep, seed := range seeds {
+		solo, err := gossip.NewVanillaEnsemble(g, x0, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		soloEng, err := NewBatchEngine(g, solo, []*rng.RNG{rng.New(seed)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		soloEng.RunEvents(events)
+		a, b := make([]float64, g.NumNodes()), make([]float64, g.NumNodes())
+		wide.CopyInto(rep, a)
+		solo.CopyInto(0, b)
+		for i := range a {
+			if math.Float64bits(a[i]) != math.Float64bits(b[i]) {
+				t.Fatalf("replica %d node %d: %v wide vs %v solo", rep, i, a[i], b[i])
+			}
+		}
+		if eng.ReplicaNow(rep) != soloEng.ReplicaNow(0) {
+			t.Errorf("replica %d clock: %v wide vs %v solo", rep, eng.ReplicaNow(rep), soloEng.ReplicaNow(0))
+		}
+		if eng.ReplicaEvents(rep) != soloEng.ReplicaEvents(0) {
+			t.Errorf("replica %d events: %d wide vs %d solo", rep, eng.ReplicaEvents(rep), soloEng.ReplicaEvents(0))
+		}
+	}
+}
+
+// Same for the tracked loop: the per-replica TrackedResult (last
+// exceedance time, censoring) must not depend on the batch width.
+func TestBatchRunTrackedWidthDeterminism(t *testing.T) {
+	g, x0 := batchFixture(t)
+	seeds := replicaSeeds(6)
+	probe, err := gossip.NewVanillaEnsemble(g, x0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var0 := probe.ReplicaVariance(0)
+	cfg := Tracked{
+		ExceedLevel: var0 * math.Exp(-2),
+		StopLevel:   var0 * math.Exp(-2),
+		Quiet:       1,
+		MaxTime:     1e5,
+	}
+
+	wide, err := gossip.NewVanillaEnsemble(g, x0, len(seeds))
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := NewBatchEngine(g, wide, streamsFor(seeds))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wideRes := eng.RunTracked(cfg)
+
+	for rep, seed := range seeds {
+		solo, err := gossip.NewVanillaEnsemble(g, x0, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		soloEng, err := NewBatchEngine(g, solo, []*rng.RNG{rng.New(seed)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		soloRes := soloEng.RunTracked(cfg)[0]
+		if wideRes[rep] != soloRes {
+			t.Errorf("replica %d: %+v wide vs %+v solo", rep, wideRes[rep], soloRes)
+		}
+		if wideRes[rep].LastExceed <= 0 {
+			t.Errorf("replica %d: expected a positive last exceedance, got %v", rep, wideRes[rep].LastExceed)
+		}
+		if wideRes[rep].Censored {
+			t.Errorf("replica %d: unexpectedly censored", rep)
+		}
+	}
+}
+
+// A tiny MaxTime must censor every replica; the horizon is honoured at
+// chunk granularity.
+func TestBatchRunTrackedCensors(t *testing.T) {
+	g, x0 := batchFixture(t)
+	ens, err := gossip.NewVanillaEnsemble(g, x0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := NewBatchEngine(g, ens, streamsFor(replicaSeeds(3)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var0 := ens.ReplicaVariance(0)
+	res := eng.RunTracked(Tracked{
+		ExceedLevel: var0 * math.Exp(-2),
+		StopLevel:   var0 * 1e-12,
+		Quiet:       1,
+		MaxTime:     1e-3,
+	})
+	for rep, r := range res {
+		if !r.Censored {
+			t.Errorf("replica %d: expected censoring at MaxTime=1e-3", rep)
+		}
+	}
+}
+
+// Bridged clocks: after n events each replica's time is a Gamma(n) draw
+// scaled by the mean gap, so the cross-replica average must match n/|E|
+// within Monte-Carlo tolerance.
+func TestBatchBridgedClockMean(t *testing.T) {
+	g, x0 := batchFixture(t)
+	const replicas, events = 32, 4096
+	ens, err := gossip.NewVanillaEnsemble(g, x0, replicas)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := NewBatchEngine(g, ens, streamsFor(replicaSeeds(replicas)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.RunEvents(events)
+	want := float64(events) / float64(g.NumEdges())
+	mean := 0.0
+	for rep := 0; rep < replicas; rep++ {
+		mean += eng.ReplicaNow(rep)
+	}
+	mean /= replicas
+	// Each replica clock has sd want/sqrt(events); the mean of 32 shrinks
+	// it by another sqrt(32). Allow 5 sigma.
+	tol := 5 * want / math.Sqrt(float64(events)*replicas)
+	if math.Abs(mean-want) > tol {
+		t.Errorf("mean replica clock %v, want %v ± %v", mean, want, tol)
+	}
+	if eng.Events() != int64(replicas*events) {
+		t.Errorf("total events %d, want %d", eng.Events(), replicas*events)
+	}
+}
+
+// countingKernel tallies edge picks — for verifying the heterogeneous
+// (alias) pick path against the rate vector.
+type countingKernel struct {
+	replicas int
+	counts   []int64
+}
+
+func (k *countingKernel) Replicas() int { return k.replicas }
+func (k *countingKernel) TickChunk(_ int, edges []graph.EdgeID) {
+	for _, e := range edges {
+		k.counts[e]++
+	}
+}
+func (k *countingKernel) TickChunkTracked(rep int, edges []graph.EdgeID, _ float64) (int, float64) {
+	k.TickChunk(rep, edges)
+	return -1, 0
+}
+func (k *countingKernel) ReplicaVariance(int) float64 { return 0 }
+
+// Heterogeneous rates route picks through the shared alias table: edge
+// frequencies must be proportional to the rates.
+func TestBatchEngineHeterogeneousRates(t *testing.T) {
+	g, _ := batchFixture(t)
+	rates := make([]float64, g.NumEdges())
+	r := rng.New(3)
+	total := 0.0
+	for i := range rates {
+		rates[i] = 0.5 + 1.5*r.Float64()
+		total += rates[i]
+	}
+	kern := &countingKernel{replicas: 4, counts: make([]int64, g.NumEdges())}
+	eng, err := NewBatchEngine(g, kern, streamsFor(replicaSeeds(4)), WithBatchRates(rates))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const events = 200000
+	eng.RunEvents(events / 4)
+	for e, rate := range rates {
+		want := float64(events) * rate / total
+		if sigma := math.Sqrt(want); math.Abs(float64(kern.counts[e])-want) > 6*sigma {
+			t.Errorf("edge %d picked %d times, want ~%.0f", e, kern.counts[e], want)
+		}
+	}
+}
+
+func TestBatchEngineValidation(t *testing.T) {
+	g, x0 := batchFixture(t)
+	ens, err := gossip.NewVanillaEnsemble(g, x0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewBatchEngine(g, nil, streamsFor(replicaSeeds(2))); err == nil {
+		t.Error("nil kernel not rejected")
+	}
+	if _, err := NewBatchEngine(g, ens, streamsFor(replicaSeeds(3))); err == nil {
+		t.Error("stream/replica count mismatch not rejected")
+	}
+	if _, err := NewBatchEngine(g, ens, []*rng.RNG{rng.New(1), nil}); err == nil {
+		t.Error("nil stream not rejected")
+	}
+	if _, err := NewBatchEngine(g, ens, streamsFor(replicaSeeds(2)), WithBatchRates([]float64{1})); err == nil {
+		t.Error("rate length mismatch not rejected")
+	}
+	bad := make([]float64, g.NumEdges())
+	for i := range bad {
+		bad[i] = 1
+	}
+	bad[3] = -2
+	if _, err := NewBatchEngine(g, ens, streamsFor(replicaSeeds(2)), WithBatchRates(bad)); err == nil {
+		t.Error("negative rate not rejected")
+	}
+}

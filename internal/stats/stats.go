@@ -285,3 +285,31 @@ func (h *Histogram) BinCenter(i int) float64 {
 	w := (h.Hi - h.Lo) / float64(len(h.Counts))
 	return h.Lo + w*(float64(i)+0.5)
 }
+
+// KSDistance computes the two-sample Kolmogorov–Smirnov statistic: the
+// maximum absolute difference between the empirical CDFs of a and b. The
+// inputs are sorted in place. It is the cross-check metric pinning the
+// time-bridged simulator against the per-event reference (DESIGN.md §8);
+// compare against c(α)·sqrt((n+m)/(n·m)) with c(0.001) ≈ 1.949.
+func KSDistance(a, b []float64) float64 {
+	sort.Float64s(a)
+	sort.Float64s(b)
+	d, i, j := 0.0, 0, 0
+	for i < len(a) && j < len(b) {
+		// Advance past every copy of the smaller value on both sides
+		// before comparing CDFs, so tied observations (measure-zero for
+		// the continuous samples this is used on, but cheap to handle
+		// exactly) contribute no spurious transient gap.
+		x := math.Min(a[i], b[j])
+		for i < len(a) && a[i] == x {
+			i++
+		}
+		for j < len(b) && b[j] == x {
+			j++
+		}
+		if diff := math.Abs(float64(i)/float64(len(a)) - float64(j)/float64(len(b))); diff > d {
+			d = diff
+		}
+	}
+	return d
+}

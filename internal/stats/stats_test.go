@@ -333,3 +333,22 @@ func TestHistogramTotalProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestKSDistance(t *testing.T) {
+	// Identical samples: D = 0.
+	a := []float64{3, 1, 2, 4}
+	b := []float64{1, 2, 3, 4}
+	if d := KSDistance(a, b); d != 0 {
+		t.Errorf("identical samples: D = %v, want 0", d)
+	}
+	// Disjoint supports: D = 1.
+	lo := []float64{1, 2, 3}
+	hi := []float64{10, 11, 12}
+	if d := KSDistance(lo, hi); d != 1 {
+		t.Errorf("disjoint samples: D = %v, want 1", d)
+	}
+	// Hand-computed: a = {1, 3}, b = {2, 4} -> max CDF gap 1/2.
+	if d := KSDistance([]float64{1, 3}, []float64{2, 4}); d != 0.5 {
+		t.Errorf("interleaved samples: D = %v, want 0.5", d)
+	}
+}

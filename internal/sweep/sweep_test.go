@@ -47,6 +47,54 @@ func TestDeterministicAcrossWorkers(t *testing.T) {
 	}
 }
 
+// TestDeterministicAcrossBatchWidths: the replica-batched cells must be
+// byte-identical for any Stop.BatchWidth — the width only groups trials
+// into ensembles, every trial's streams derive from the unit seed in
+// trial order. The reports are compared after normalising the one field
+// that legitimately differs (the requested width echoed in the spec).
+func TestDeterministicAcrossBatchWidths(t *testing.T) {
+	base := Grid{
+		Base: scenario.Spec{
+			Stop: scenario.StopSpec{Trials: 5, MaxTime: 200},
+		},
+		Families: []string{"dumbbell", "ringofcliques"},
+		Ns:       []int{12, 16},
+		Algos:    []string{"vanilla", "pushsum"},
+	}
+	var reports []*Report
+	for _, width := range []int{0, 1, 2} {
+		grid := base
+		grid.Base.Stop.BatchWidth = width
+		rep, err := Run(grid, Config{Workers: 2, Seed: 17})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range rep.Cells {
+			rep.Cells[i].Spec.Stop.BatchWidth = 0
+		}
+		rep.Grid.Base.Stop.BatchWidth = 0
+		reports = append(reports, rep)
+	}
+	var want bytes.Buffer
+	if err := reports[0].WriteJSON(&want); err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(reports); i++ {
+		var got bytes.Buffer
+		if err := reports[i].WriteJSON(&got); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(want.Bytes(), got.Bytes()) {
+			t.Fatalf("batch widths produced different reports:\n--- width[0] ---\n%s\n--- width[%d] ---\n%s", want.String(), i, got.String())
+		}
+	}
+	for _, c := range reports[0].Cells {
+		if c.Error != "" {
+			t.Errorf("cell %s failed: %s", c.Label, c.Error)
+		}
+	}
+}
+
 // TestExpandOrderAndSeeds pins the expansion order (families outermost,
 // algos inner) and the seed-per-unit scheme.
 func TestExpandOrderAndSeeds(t *testing.T) {

@@ -262,6 +262,53 @@ func MeasureAveragingTime(g *Graph, factory Factory, cfg TavConfig) (TavResult, 
 	}, cfg)
 }
 
+// Replica-batched simulation, re-exported from internal/sim and
+// internal/gossip: R independent Monte-Carlo replicas of one scenario
+// advance in interleaved lockstep over the shared flat graph, with
+// per-chunk Gamma time-bridging instead of per-event exponential draws.
+// See DESIGN.md §8.
+type (
+	// BatchEngine drives a BatchKernel's replicas with bridged Poisson
+	// clocks; construct with NewBatchEngine.
+	BatchEngine = sim.BatchEngine
+	// BatchKernel is the algorithm side of the batched engine
+	// (implemented by the gossip ensembles below).
+	BatchKernel = sim.BatchKernel
+)
+
+// NewVanillaEnsemble builds R replicas of vanilla gossip on g for the
+// batched engine, all starting from x0.
+func NewVanillaEnsemble(g *Graph, x0 []float64, replicas int) (*gossip.VanillaEnsemble, error) {
+	return gossip.NewVanillaEnsemble(g, x0, replicas)
+}
+
+// NewBatchEngine builds a replica-batched engine for g driving kern, one
+// replica per seed.
+func NewBatchEngine(g *Graph, kern BatchKernel, seeds []uint64) (*BatchEngine, error) {
+	streams := make([]*rng.RNG, len(seeds))
+	for i, s := range seeds {
+		streams[i] = rng.New(s)
+	}
+	return sim.NewBatchEngine(g, kern, streams)
+}
+
+// MeasureAveragingTimeBatched is MeasureAveragingTime through the
+// replica-batched bridged engine: all trials of the ensemble advance in
+// lockstep, the per-trial streams derive from cfg.Seed exactly as the
+// per-event path derives them, and the result is byte-identical for any
+// cfg.BatchWidth. It samples the same Definition-1 statistic as
+// MeasureAveragingTime but is not stream-compatible with it; the two are
+// KS-tested against each other in internal/avgtime.
+func MeasureAveragingTimeBatched(g *Graph, factory func(replicas int, seeds []uint64) (BatchKernel, error), cfg TavConfig) (TavResult, error) {
+	return avgtime.EstimateBatched(g, nil, func(replicas int, streams []*rng.RNG) (sim.BatchKernel, error) {
+		seeds := make([]uint64, len(streams))
+		for i, r := range streams {
+			seeds[i] = r.Uint64()
+		}
+		return factory(replicas, seeds)
+	}, cfg)
+}
+
 // Decentralized message-passing runtime, re-exported from internal/dist:
 // the same local rules the simulator applies centrally, run as one
 // goroutine per node exchanging messages over an explicit, optionally

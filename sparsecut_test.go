@@ -170,6 +170,52 @@ func TestMeasureAveragingTime(t *testing.T) {
 	}
 }
 
+func TestMeasureAveragingTimeBatched(t *testing.T) {
+	g, part, err := NewDumbbell(12, 12, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x0 := WorstCaseInit(part)
+	res, err := MeasureAveragingTimeBatched(g, func(replicas int, _ []uint64) (BatchKernel, error) {
+		return NewVanillaEnsemble(g, x0, replicas)
+	}, TavConfig{Trials: 5, MaxTime: 1e3, MarginFactor: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Tav <= 0 {
+		t.Errorf("Tav = %v", res.Tav)
+	}
+	if res.Censored != 0 {
+		t.Errorf("censored = %d", res.Censored)
+	}
+}
+
+func TestBatchEngineFacade(t *testing.T) {
+	g, part, err := NewDumbbell(8, 8, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x0 := WorstCaseInit(part)
+	ens, err := NewVanillaEnsemble(g, x0, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := NewBatchEngine(g, ens, []uint64{1, 2, 3, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.RunEvents(1000)
+	if eng.Events() != 4000 {
+		t.Errorf("events = %d, want 4000", eng.Events())
+	}
+	v0 := ens.ReplicaVariance(0)
+	for rep := 1; rep < 4; rep++ {
+		if v := ens.ReplicaVariance(rep); v == v0 {
+			t.Errorf("replicas %d and 0 produced identical variance %v from distinct seeds", rep, v)
+		}
+	}
+}
+
 func TestExperimentsRegistry(t *testing.T) {
 	all := Experiments()
 	if len(all) != 14 {
