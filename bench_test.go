@@ -9,17 +9,16 @@ package sparsecut
 //	go test -bench=. -benchmem
 //
 // regenerates a compact, machine-readable version of the entire evaluation.
-// Full-size tables are produced by `go run ./cmd/experiments -all`.
+// The full bound-checked document is produced by `go run ./cmd/repro`.
 
 import (
-	"io"
 	"math"
 	"strings"
 	"testing"
 
-	"sparsecut/internal/experiments"
 	"sparsecut/internal/gossip"
 	"sparsecut/internal/graph"
+	"sparsecut/internal/report"
 	"sparsecut/internal/rng"
 	"sparsecut/internal/sim"
 	"sparsecut/internal/spectral"
@@ -29,20 +28,20 @@ import (
 // metrics as benchmark outputs.
 func benchExperiment(b *testing.B, id string, metrics ...string) {
 	b.Helper()
-	e, ok := experiments.ByID(id)
+	e, ok := report.ByID(id)
 	if !ok {
 		b.Fatalf("experiment %s not registered", id)
 	}
-	var last experiments.Outcome
+	var last map[string]float64
 	for i := 0; i < b.N; i++ {
-		out, err := e.Run(io.Discard, experiments.Params{Quick: true, Seed: uint64(i + 1)})
+		sec, err := e.RunEntry(report.Params{Quick: true, Seed: uint64(i + 1)})
 		if err != nil {
 			b.Fatalf("%s: %v", id, err)
 		}
-		last = out
+		last = sec.MetricMap()
 	}
 	for _, m := range metrics {
-		if v, ok := last.Metrics[m]; ok {
+		if v, ok := last[m]; ok {
 			// testing.B forbids whitespace in metric units.
 			unit := strings.NewReplacer(" ", "_", "(", "", ")", "", ".", "").Replace(m)
 			b.ReportMetric(v, unit)
@@ -87,19 +86,19 @@ func BenchmarkE9EpochConstantSweep(b *testing.B) {
 }
 
 func BenchmarkE10RealisticGraphs(b *testing.B) {
-	benchExperiment(b, "E10", "speedup-planted-partition", "speedup-walled-rgg")
+	benchExperiment(b, "E10", "speedup-planted", "speedup-sensor")
 }
 
 func BenchmarkE11DiffusionBaseline(b *testing.B) {
 	benchExperiment(b, "E11", "rounds-first", "rounds-second", "rounds-A-equivalent")
 }
 
-func BenchmarkE12DistributedRuntime(b *testing.B) {
-	benchExperiment(b, "E12", "ratio@drop=0")
+func BenchmarkE12DistributedRule(b *testing.B) {
+	benchExperiment(b, "E12", "ratio@sim", "max-divergence")
 }
 
 func BenchmarkE13TimingModels(b *testing.B) {
-	benchExperiment(b, "E13", "speedup-edge-clock (paper)", "speedup-node-clock (Boyd et al.)")
+	benchExperiment(b, "E13", "speedup-uniform", "speedup-nodeclock")
 }
 
 func BenchmarkE14AllCutEdges(b *testing.B) {

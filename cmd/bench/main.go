@@ -16,7 +16,6 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
-	"io"
 	"math"
 	"os"
 	"runtime"
@@ -24,9 +23,9 @@ import (
 	"time"
 
 	"sparsecut/internal/avgtime"
-	"sparsecut/internal/experiments"
 	"sparsecut/internal/gossip"
 	"sparsecut/internal/graph"
+	"sparsecut/internal/report"
 	"sparsecut/internal/rng"
 	"sparsecut/internal/sim"
 )
@@ -276,16 +275,16 @@ func avgtimeBenches() ([]MicroBench, error) {
 
 func runExperiments(quick bool) ([]ExpTiming, error) {
 	var out []ExpTiming
-	for _, e := range experiments.All() {
+	for _, e := range report.Entries() {
 		start := time.Now()
-		res, err := e.Run(io.Discard, experiments.Params{Quick: quick, Seed: 1})
+		sec, err := e.RunEntry(report.Params{Quick: quick, Seed: 1})
 		if err != nil {
 			return nil, fmt.Errorf("%s: %w", e.ID, err)
 		}
 		out = append(out, ExpTiming{
 			ID:      e.ID,
 			Seconds: time.Since(start).Seconds(),
-			Metrics: len(res.Metrics),
+			Metrics: len(sec.Metrics),
 		})
 	}
 	return out, nil

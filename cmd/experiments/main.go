@@ -1,12 +1,14 @@
-// Command experiments regenerates the repository's evaluation suite
-// (experiments E1–E14, DESIGN.md §4) — every table and figure-style series
-// reproduced from the paper.
+// Command experiments runs entries of the repository's evaluation suite
+// (experiments E1–E14, DESIGN.md §4) through the reproduction registry
+// (internal/report) and prints their Markdown sections — the interactive
+// counterpart of cmd/repro, which renders the whole suite into
+// REPRODUCTION.md with a summary and machine-readable JSON.
 //
 // Usage:
 //
 //	experiments -list
-//	experiments -run E4 [-quick] [-markdown] [-seed 1]
-//	experiments -all  [-quick] [-markdown] [-seed 1]
+//	experiments -run E4 [-quick] [-seed 1]
+//	experiments -all  [-quick] [-seed 1]
 package main
 
 import (
@@ -14,37 +16,43 @@ import (
 	"fmt"
 	"os"
 
-	"sparsecut/internal/experiments"
+	"sparsecut/internal/report"
 )
 
 func main() {
 	var (
-		list     = flag.Bool("list", false, "list available experiments and exit")
-		run      = flag.String("run", "", "run a single experiment by ID (e.g. E4)")
-		all      = flag.Bool("all", false, "run the entire suite E1..E14")
-		quick    = flag.Bool("quick", false, "reduced sizes (CI-grade); full mode regenerates EXPERIMENTS.md numbers")
-		markdown = flag.Bool("markdown", false, "render tables as Markdown")
-		seed     = flag.Uint64("seed", 1, "random seed")
+		list  = flag.Bool("list", false, "list available experiments and exit")
+		run   = flag.String("run", "", "run a single experiment by ID (e.g. E4)")
+		all   = flag.Bool("all", false, "run the entire suite E1..E14")
+		quick = flag.Bool("quick", false, "reduced sizes (CI-grade); full mode regenerates the REPRODUCTION.md numbers")
+		seed  = flag.Uint64("seed", 1, "random seed")
 	)
 	flag.Parse()
 
-	params := experiments.Params{Quick: *quick, Seed: *seed, Markdown: *markdown}
+	params := report.Params{Quick: *quick, Seed: *seed}
 	switch {
 	case *list:
-		for _, e := range experiments.All() {
+		for _, e := range report.Entries() {
 			fmt.Printf("%-4s %s\n     claim: %s\n", e.ID, e.Title, e.Claim)
 		}
 	case *all:
-		if _, err := experiments.RunAll(os.Stdout, params); err != nil {
+		doc, err := report.Generate(params)
+		if err != nil {
+			fatal(err)
+		}
+		if err := doc.WriteMarkdown(os.Stdout); err != nil {
 			fatal(err)
 		}
 	case *run != "":
-		e, ok := experiments.ByID(*run)
+		e, ok := report.ByID(*run)
 		if !ok {
 			fatal(fmt.Errorf("unknown experiment %q (use -list)", *run))
 		}
-		fmt.Printf("===== %s: %s =====\nclaim: %s\n\n", e.ID, e.Title, e.Claim)
-		if _, err := e.Run(os.Stdout, params); err != nil {
+		sec, err := e.RunEntry(params)
+		if err != nil {
+			fatal(err)
+		}
+		if err := sec.WriteMarkdown(os.Stdout); err != nil {
 			fatal(err)
 		}
 	default:

@@ -41,7 +41,7 @@ func main() {
 		epochCs  = flag.String("epochC", "", "Algorithm A epoch constants: comma list")
 		weights  = flag.String("weight", "", "Algorithm A swap-weight rules: comma list of exact|paper|custom")
 		initKind = flag.String("init", "", "initial vector: worstcase|spike|random|gaussian|linear")
-		rates    = flag.String("rates", "", "clock-rate model: uniform|nodeclock|random")
+		rates    = flag.String("rates", "", "clock-rate models: comma list of uniform|nodeclock|random (a list becomes a sweep axis)")
 		trials   = flag.Int("trials", 5, "Monte-Carlo trials per cell")
 		maxTime  = flag.Float64("maxtime", 0, "censoring horizon per trial (0 = 60*n)")
 		seed     = flag.Uint64("seed", 1, "root seed; every cell seed derives from it")
@@ -82,7 +82,14 @@ func main() {
 		grid.Base.Init = *initKind
 	}
 	if *rates != "" && use("rates") {
-		grid.Base.Rates = *rates
+		switch vals := splitList(*rates); len(vals) {
+		case 0:
+			// Only separators/whitespace: leave the spec default.
+		case 1:
+			grid.Base.Rates = vals[0]
+		default:
+			grid.Rates = vals
+		}
 	}
 	if *trials > 0 && use("trials") {
 		grid.Base.Stop.Trials = *trials

@@ -19,6 +19,8 @@
 // re-inflation on the graph sizes used here) and a quiet period of two
 // epochs has passed since the last exceedance; trials that still exceed the
 // margin at MaxTime are reported as censored.
+//
+// Key types: Config, Result, Estimate/EstimateWithRates (per-event) and EstimateBatched (replica-batched, DESIGN.md §8). The timing model is DESIGN.md §2.
 package avgtime
 
 import (

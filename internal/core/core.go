@@ -19,6 +19,8 @@
 // convex algorithm needs (Theorem 1). See weight.go for the coefficient
 // discussion (the library defaults to the exactly-annihilating w* rather
 // than the paper's literal n1).
+//
+// Key types: SparseCutAveraging (gossip.Algorithm), the Option set (WithPartition, WithTvan, WithAllCutEdges, ...). The deliberate deviations from the paper's literal text are DESIGN.md §3; the claim mapping is §4.
 package core
 
 import (
@@ -273,26 +275,12 @@ func New(g *graph.Graph, x0 []float64, opts ...Option) (*SparseCutAveraging, err
 
 // SideTvanBounds computes the analytic vanilla averaging-time bounds 6/λ2
 // for the two induced side subgraphs. A single-node side averages
-// instantly, so its bound is 0.
+// instantly, so its bound is 0. It is a thin re-export of
+// spectral.SideTvanBounds, kept here because it is part of Algorithm A's
+// construction contract (the default Tvan estimator behind the epoch
+// formula).
 func SideTvanBounds(p *graph.Partition, opts spectral.Options) (tvan1, tvan2 float64, err error) {
-	for i, s := range []graph.Side{graph.Side1, graph.Side2} {
-		sub, _ := p.Subgraph(s)
-		var tv float64
-		if sub.NumNodes() < 2 {
-			tv = 0
-		} else {
-			tv, err = spectral.TvanBound(sub, opts)
-			if err != nil {
-				return 0, 0, fmt.Errorf("core: TvanBound(%s): %w", s, err)
-			}
-		}
-		if i == 0 {
-			tvan1 = tv
-		} else {
-			tvan2 = tv
-		}
-	}
-	return tvan1, tvan2, nil
+	return spectral.SideTvanBounds(p, opts)
 }
 
 // Name implements gossip.Algorithm.

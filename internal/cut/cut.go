@@ -7,6 +7,8 @@
 // nodes sorted by Fiedler score and keep the prefix with minimum
 // conductance. For the small graphs used in tests, an exhaustive
 // minimum-conductance search provides a ground-truth reference.
+//
+// Key functions: Detect, SpectralBisection, DesignatedCutEdge. Used by Algorithm A's auto-detection (DESIGN.md §3) and the E10 discovery checks (§9).
 package cut
 
 import (

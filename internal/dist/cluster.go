@@ -16,6 +16,8 @@
 // initiates at Poisson rate deg(u)/2 over a uniform incident edge, which
 // superposes to an independent rate-1 clock per edge — the paper's model.
 // One simulated time unit is ClusterConfig.TimeScale of wall-clock time.
+//
+// Key types: Cluster, Rule (VanillaRule, SparseCutRule), the Transport stack (Chan/Drop/Delay/TCP). The protocol is DESIGN.md §5; the deterministic lockstep check lives in the reproduction's E12 (§9.4).
 package dist
 
 import (

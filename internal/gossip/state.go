@@ -6,6 +6,8 @@
 // The State type maintains the running sum and sum of squares of the value
 // vector incrementally, so the variance the paper's averaging-time metric
 // needs is available in O(1) after every event rather than O(n).
+//
+// Key types: State (O(1) incremental moments), Algorithm (the tick interface), BatchState and the *Ensemble replica batches. See DESIGN.md §6 (fused kernels) and §8 (replica batching).
 package gossip
 
 import (

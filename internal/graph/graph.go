@@ -9,6 +9,8 @@
 // Nodes are identified by dense integer IDs in [0, NumNodes), edges by dense
 // IDs in [0, NumEdges) — both are stable for the lifetime of the graph,
 // which lets simulators index per-edge state with plain slices.
+//
+// Key types: Graph (immutable, CSR adjacency), Partition (two-way cut accounting), the generator zoo in generators.go/composites.go. See DESIGN.md §1 for the layout and §7 for the family registry built on top.
 package graph
 
 import (

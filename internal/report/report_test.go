@@ -1,0 +1,225 @@
+package report
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"sparsecut/internal/scenario"
+	"sparsecut/internal/sweep"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+func TestRegistryComplete(t *testing.T) {
+	all := Entries()
+	if len(all) != 14 {
+		t.Fatalf("registry has %d experiments, want 14", len(all))
+	}
+	for i, e := range all {
+		if e.ID == "" || e.Title == "" || e.Claim == "" || e.Run == nil {
+			t.Errorf("experiment %d incomplete: %+v", i, e)
+		}
+	}
+	// Sorted numerically, not lexically (E10 after E9).
+	if all[8].ID != "E9" || all[9].ID != "E10" {
+		t.Errorf("ordering wrong: %s, %s", all[8].ID, all[9].ID)
+	}
+	if _, ok := ByID("E999"); ok {
+		t.Error("bogus ID found")
+	}
+}
+
+// quickSection runs one entry in quick mode and fails the test on any
+// definitive FAIL — the same gate CI applies to the generated document.
+func quickSection(t *testing.T, id string, seed uint64) Section {
+	t.Helper()
+	e, ok := ByID(id)
+	if !ok {
+		t.Fatalf("experiment %s not registered", id)
+	}
+	sec, err := e.RunEntry(Params{Quick: true, Seed: seed})
+	if err != nil {
+		t.Fatalf("%s: %v", id, err)
+	}
+	if sec.Verdicts.Fail > 0 {
+		t.Errorf("%s: %d table rows FAIL", id, sec.Verdicts.Fail)
+	}
+	for _, name := range sec.FailedChecks() {
+		t.Errorf("%s: check %q failed", id, name)
+	}
+	return sec
+}
+
+// TestSuitePassesQuick is the migrated claim suite: every experiment's
+// bound checks and derived checks must pass in quick mode. The thresholds
+// themselves live in the entries (they ARE the report's PASS/FAIL
+// convention), so this single test asserts the entire E1–E14 claim set.
+func TestSuitePassesQuick(t *testing.T) {
+	for _, e := range Entries() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			sec := quickSection(t, e.ID, 7)
+			if len(sec.Tables) == 0 && len(sec.Checks) == 0 {
+				t.Fatalf("%s produced no tables and no checks", e.ID)
+			}
+		})
+	}
+}
+
+// TestHeadlineMetrics spot-checks the strongest quantitative claims
+// beyond the PASS/FAIL gates (the former experiments-package test
+// assertions).
+func TestHeadlineMetrics(t *testing.T) {
+	e4 := quickSection(t, "E4", 7)
+	if g, ok := e4.Metric("speedup-growth"); !ok || g <= 1 {
+		t.Errorf("E4 speedup growth %v, want > 1", g)
+	}
+	e7 := quickSection(t, "E7", 7)
+	if beta, _ := e7.Metric("beta"); beta < 0.25 || beta > 1 {
+		t.Errorf("E7 beta %v outside [0.25, 1]", beta)
+	}
+	e12 := quickSection(t, "E12", 7)
+	if div, _ := e12.Metric("max-divergence"); div > 1e-9 {
+		t.Errorf("E12 rule/simulator divergence %v", div)
+	}
+}
+
+// TestGoldenSection locks the rendered REPRODUCTION.md section format:
+// the same spec + seed must produce this byte-exact section, at workers=1
+// and workers=4 alike. Regenerate with -update after intentional format
+// changes.
+func TestGoldenSection(t *testing.T) {
+	render := func(workers int) []byte {
+		e, _ := ByID("E1")
+		sec, err := e.RunEntry(Params{Quick: true, Seed: 7, Workers: workers})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		var buf bytes.Buffer
+		if err := sec.WriteMarkdown(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	w1 := render(1)
+	w4 := render(4)
+	if !bytes.Equal(w1, w4) {
+		t.Fatalf("E1 section differs between workers=1 and workers=4:\n--- w=1 ---\n%s\n--- w=4 ---\n%s", w1, w4)
+	}
+
+	golden := filepath.Join("testdata", "golden_e1_quick.md")
+	if *update {
+		if err := os.WriteFile(golden, w1, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with -update to create)", err)
+	}
+	if !bytes.Equal(w1, want) {
+		t.Errorf("E1 section drifted from golden file (run with -update if intentional):\n--- got ---\n%s\n--- want ---\n%s", w1, want)
+	}
+}
+
+// TestDocumentDeterministic renders a three-experiment document twice (and
+// across worker counts) and demands byte equality for both Markdown and
+// JSON — the contract cmd/repro and the repro-smoke CI job rely on.
+func TestDocumentDeterministic(t *testing.T) {
+	gen := func(workers int) (string, string) {
+		doc, err := GenerateSubset([]string{"E2", "E8", "E12"}, Params{Quick: true, Seed: 5, Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var md, js bytes.Buffer
+		if err := doc.WriteMarkdown(&md); err != nil {
+			t.Fatal(err)
+		}
+		if err := doc.WriteJSON(&js); err != nil {
+			t.Fatal(err)
+		}
+		return md.String(), js.String()
+	}
+	md1, js1 := gen(1)
+	md2, js2 := gen(4)
+	md3, js3 := gen(4)
+	if md1 != md2 || md2 != md3 {
+		t.Error("markdown differs across runs/worker counts")
+	}
+	if js1 != js2 || js2 != js3 {
+		t.Error("JSON differs across runs/worker counts")
+	}
+	back, err := ReadDocument(strings.NewReader(js1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Sections) != 3 || back.Sections[0].ID != "E2" {
+		t.Errorf("JSON round-trip lost sections: %+v", back.Sections)
+	}
+}
+
+// TestVerdictCensoring pins the censoring-aware margin logic: censored
+// cells can PASS a lower bound and FAIL an upper bound definitively, but
+// everything else is inconclusive.
+func TestVerdictCensoring(t *testing.T) {
+	base := sweep.Cell{Spec: scenario.Spec{Algo: scenario.AlgoSpec{Name: "vanilla"}}}
+	cases := []struct {
+		name     string
+		tav      float64
+		censored int
+		b        cellBounds
+		want     Verdict
+	}{
+		{"no bounds", 10, 0, cellBounds{}, None},
+		{"clean pass", 10, 0, cellBounds{lower: 8, upper: 20}, Pass},
+		{"lower violation", 1, 0, cellBounds{lower: 100}, Fail},
+		{"lower violation censored", 1, 1, cellBounds{lower: 100}, Cens},
+		{"censored above lower is definitive", 50, 1, cellBounds{lower: 100}, Pass},
+		{"upper violation", 100, 0, cellBounds{upper: 20}, Fail},
+		{"upper violation censored is definitive", 100, 1, cellBounds{upper: 20}, Fail},
+		{"censored below upper inconclusive", 10, 1, cellBounds{upper: 20}, Cens},
+	}
+	for _, tc := range cases {
+		c := base
+		c.Tav = tc.tav
+		c.Censored = tc.censored
+		if got := verdictFor(c, tc.b); got != tc.want {
+			t.Errorf("%s: verdict %s, want %s", tc.name, got, tc.want)
+		}
+	}
+}
+
+// TestFailuresSurface verifies a failing check is reported by
+// Document.Failures (the hook cmd/repro -strict exits non-zero on).
+func TestFailuresSurface(t *testing.T) {
+	doc := &Document{Sections: []Section{{
+		ID:     "EX",
+		Checks: []Check{{Name: "broken", Pass: false}},
+	}}}
+	fails := doc.Failures()
+	if len(fails) != 1 || !strings.Contains(fails[0], "broken") {
+		t.Errorf("Failures() = %v", fails)
+	}
+	if fails := (&Document{}).Failures(); len(fails) != 0 {
+		t.Errorf("empty document reported failures: %v", fails)
+	}
+}
+
+// TestMarkdownEscapesPipes guards the GFM rendering of |E12|-style cells.
+func TestMarkdownEscapesPipes(t *testing.T) {
+	sec := Section{ID: "EX", Title: "t", Claim: "c", Tables: []Table{{
+		Columns: []string{"|E12|"},
+		Rows:    [][]string{{"|x|"}},
+	}}}
+	var buf bytes.Buffer
+	if err := sec.WriteMarkdown(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `\|E12\|`) || !strings.Contains(buf.String(), `\|x\|`) {
+		t.Errorf("pipes not escaped:\n%s", buf.String())
+	}
+}

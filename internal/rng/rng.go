@@ -6,6 +6,8 @@
 // seeded with the same value produces the same event sequence on every
 // platform), speed, and the ability to derive statistically independent
 // child streams for parallel Monte-Carlo trials.
+//
+// Key types: RNG (splittable xoshiro256++ stream). Seed-splitting discipline is part of the determinism contract in DESIGN.md §7.
 package rng
 
 import (

@@ -164,6 +164,9 @@ func (r *Resolved) NewAlgorithm(rr *rng.RNG) (gossip.Algorithm, error) {
 		if a.EpochTicks != 0 {
 			opts = append(opts, core.WithEpochTicks(a.EpochTicks))
 		}
+		if a.AllCutEdges {
+			opts = append(opts, core.WithAllCutEdges())
+		}
 		return core.New(r.Graph, r.X0, opts...)
 	default:
 		return nil, fmt.Errorf("scenario: unknown algorithm %q", a.Name)

@@ -9,6 +9,8 @@
 // Specs are plain structs with JSON tags: they parse from command-line
 // flags or a JSON file, and round-trip losslessly, which is what makes
 // sweep reports self-describing and replayable.
+//
+// Key types: Spec (GraphSpec/AlgoSpec/StopSpec), Family and the registry, Resolved. Schema and seed-splitting are DESIGN.md §7.
 package scenario
 
 import (
@@ -75,6 +77,11 @@ type AlgoSpec struct {
 	EpochC float64 `json:"epoch_c,omitempty"`
 	// EpochTicks fixes the swap period K directly (overrides EpochC).
 	EpochTicks int64 `json:"epoch_ticks,omitempty"`
+	// AllCutEdges enables Algorithm A's multi-cut-edge extension: the
+	// swap counter and the swap itself rotate over every cut edge instead
+	// of the paper's single designated ec, with K scaled by |E12| to keep
+	// epochs mixing-limited (experiment E14).
+	AllCutEdges bool `json:"all_cut_edges,omitempty"`
 }
 
 // StopSpec sets the Monte-Carlo estimator's budget.
@@ -127,6 +134,12 @@ func (s Spec) Label() string {
 	}
 	if s.Algo.Weight != "" && s.Algo.Weight != "exact" {
 		l += "/w=" + s.Algo.Weight
+	}
+	if s.Algo.AllCutEdges {
+		l += "/allcut"
+	}
+	if s.Rates != "" && s.Rates != "uniform" {
+		l += "/" + s.Rates
 	}
 	return l
 }

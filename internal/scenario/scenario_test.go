@@ -9,6 +9,7 @@ import (
 	"strings"
 	"testing"
 
+	"sparsecut/internal/core"
 	"sparsecut/internal/graph"
 	"sparsecut/internal/rng"
 )
@@ -216,5 +217,57 @@ func TestLabel(t *testing.T) {
 	s := Spec{Graph: GraphSpec{Family: "dumbbell", N: 64, Cut: 2}, Algo: AlgoSpec{Name: "A", EpochC: 2}}
 	if got := s.Label(); got != "dumbbell/n=64/cut=2/A/C=2" {
 		t.Errorf("label = %q", got)
+	}
+}
+
+// TestAllCutEdgesSpec covers the multi-cut-edge extension flag: JSON
+// round-trip, label marking, and that the resolved Algorithm A actually
+// carries the scaled epoch (K differs from the single-edge default once
+// |E12| > 1).
+func TestAllCutEdgesSpec(t *testing.T) {
+	spec := Spec{
+		Graph: GraphSpec{Family: "dumbbell", N: 16, Cut: 4},
+		Algo:  AlgoSpec{Name: "A", AllCutEdges: true},
+	}
+	data, err := json.Marshal(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), `"all_cut_edges":true`) {
+		t.Errorf("JSON missing all_cut_edges: %s", data)
+	}
+	back, err := ParseSpec(strings.NewReader(string(data)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !back.Algo.AllCutEdges {
+		t.Error("round-trip lost AllCutEdges")
+	}
+	if !strings.Contains(spec.Label(), "/allcut") {
+		t.Errorf("label %q missing /allcut marker", spec.Label())
+	}
+
+	r, err := spec.Resolve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	allAlg, err := r.NewAlgorithm(rng.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	single := spec
+	single.Algo.AllCutEdges = false
+	rs, err := single.Resolve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	singleAlg, err := rs.NewAlgorithm(rng.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	allK := allAlg.(*core.SparseCutAveraging).EpochTicks()
+	singleK := singleAlg.(*core.SparseCutAveraging).EpochTicks()
+	if allK <= singleK {
+		t.Errorf("all-cut-edges K=%d not scaled above single-edge K=%d", allK, singleK)
 	}
 }

@@ -5,6 +5,8 @@
 // heap, and a single global clock at the total rate that picks an edge
 // proportionally to its rate) — their statistical equivalence is exercised
 // by the package tests.
+//
+// Key types: Engine (per-event loop), BatchEngine (replica-batched, Poisson time-bridging), SchedulerKind. The timing model is DESIGN.md §2; the engines are §6 and §8.
 package sim
 
 import (

@@ -6,6 +6,8 @@
 // Everything is matrix-free (operators apply to vectors through the graph's
 // adjacency structure), so graphs with 10^5+ edges are handled without
 // forming dense matrices, using only the standard library.
+//
+// Key types/functions: Operator, PowerIteration, Lambda2, TvanBound, SideTvanBounds, TheoremTwoBound — the bound formulas behind the reproduction's PASS/FAIL checks (DESIGN.md §9.2).
 package spectral
 
 import "math"

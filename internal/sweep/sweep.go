@@ -10,6 +10,8 @@
 // a slice indexed by unit, so the report layout is also order-independent.
 // The package test proves workers=1 and workers=4 produce byte-identical
 // JSON.
+//
+// Key types: Grid (the axes), Cell, Report, Run. The determinism contract and aggregation semantics are DESIGN.md §7; the reproduction pipeline (§9) runs its grids through this engine.
 package sweep
 
 import (
@@ -23,7 +25,7 @@ import (
 
 // Grid is a scenario template plus axes to sweep. Empty axes keep the
 // base spec's value; non-empty axes multiply into a cartesian product in
-// the field order below (families outermost, weights innermost).
+// the field order below (families outermost, rates innermost).
 type Grid struct {
 	// Base supplies every field the axes do not override.
 	Base scenario.Spec `json:"base"`
@@ -43,6 +45,9 @@ type Grid struct {
 	EpochCs []float64 `json:"epoch_cs,omitempty"`
 	// Weights sweeps Algorithm A's swap-weight rule.
 	Weights []string `json:"weights,omitempty"`
+	// Rates sweeps the clock-rate model (uniform, nodeclock, random) —
+	// the timing-model robustness axis of experiment E13.
+	Rates []string `json:"rates,omitempty"`
 }
 
 // Unit is one fully-specified cell of the expanded grid.
@@ -65,7 +70,8 @@ func Expand(g Grid, root uint64) ([]Unit, error) {
 		return k
 	}
 	total := orOne(len(g.Families)) * orOne(len(g.Ns)) * orOne(len(g.Cuts)) *
-		orOne(len(g.Algos)) * orOne(len(g.Alphas)) * orOne(len(g.EpochCs)) * orOne(len(g.Weights))
+		orOne(len(g.Algos)) * orOne(len(g.Alphas)) * orOne(len(g.EpochCs)) *
+		orOne(len(g.Weights)) * orOne(len(g.Rates))
 	units := make([]Unit, 0, total)
 	for fi := 0; fi < orOne(len(g.Families)); fi++ {
 		for ni := 0; ni < orOne(len(g.Ns)); ni++ {
@@ -74,35 +80,40 @@ func Expand(g Grid, root uint64) ([]Unit, error) {
 					for pi := 0; pi < orOne(len(g.Alphas)); pi++ {
 						for ei := 0; ei < orOne(len(g.EpochCs)); ei++ {
 							for wi := 0; wi < orOne(len(g.Weights)); wi++ {
-								s := g.Base
-								if len(g.Families) > 0 {
-									s.Graph.Family = g.Families[fi]
+								for ri := 0; ri < orOne(len(g.Rates)); ri++ {
+									s := g.Base
+									if len(g.Families) > 0 {
+										s.Graph.Family = g.Families[fi]
+									}
+									if len(g.Ns) > 0 {
+										s.Graph.N = g.Ns[ni]
+										s.Graph.N1, s.Graph.N2 = 0, 0
+										s.Graph.Rows, s.Graph.Cols = 0, 0
+										s.Graph.Dim, s.Graph.Levels = 0, 0
+										s.Graph.Tail, s.Graph.Blocks = 0, 0
+									}
+									if len(g.Cuts) > 0 {
+										s.Graph.Cut = g.Cuts[ci]
+									}
+									if len(g.Algos) > 0 {
+										s.Algo.Name = g.Algos[ai]
+									}
+									if len(g.Alphas) > 0 {
+										s.Algo.Alpha = g.Alphas[pi]
+									}
+									if len(g.EpochCs) > 0 {
+										s.Algo.EpochC = g.EpochCs[ei]
+									}
+									if len(g.Weights) > 0 {
+										s.Algo.Weight = g.Weights[wi]
+									}
+									if len(g.Rates) > 0 {
+										s.Rates = g.Rates[ri]
+									}
+									index := len(units)
+									s.Seed = unitSeed(root, index)
+									units = append(units, Unit{Index: index, Spec: s})
 								}
-								if len(g.Ns) > 0 {
-									s.Graph.N = g.Ns[ni]
-									s.Graph.N1, s.Graph.N2 = 0, 0
-									s.Graph.Rows, s.Graph.Cols = 0, 0
-									s.Graph.Dim, s.Graph.Levels = 0, 0
-									s.Graph.Tail, s.Graph.Blocks = 0, 0
-								}
-								if len(g.Cuts) > 0 {
-									s.Graph.Cut = g.Cuts[ci]
-								}
-								if len(g.Algos) > 0 {
-									s.Algo.Name = g.Algos[ai]
-								}
-								if len(g.Alphas) > 0 {
-									s.Algo.Alpha = g.Alphas[pi]
-								}
-								if len(g.EpochCs) > 0 {
-									s.Algo.EpochC = g.EpochCs[ei]
-								}
-								if len(g.Weights) > 0 {
-									s.Algo.Weight = g.Weights[wi]
-								}
-								index := len(units)
-								s.Seed = unitSeed(root, index)
-								units = append(units, Unit{Index: index, Spec: s})
 							}
 						}
 					}

@@ -252,3 +252,38 @@ func TestCellErrorIsolated(t *testing.T) {
 		t.Errorf("n=16 cell failed: %s", rep.Cells[1].Error)
 	}
 }
+
+// TestRatesAxis covers the clock-rate-model axis (E13's sweep dimension):
+// expansion order, per-unit planting, and end-to-end cells.
+func TestRatesAxis(t *testing.T) {
+	grid := Grid{
+		Base:  scenario.Spec{Stop: scenario.StopSpec{Trials: 1, MaxTime: 100}},
+		Ns:    []int{12},
+		Algos: []string{"vanilla"},
+		Rates: []string{"uniform", "nodeclock", "random"},
+	}
+	units, err := Expand(grid, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(units) != 3 {
+		t.Fatalf("expanded %d units, want 3", len(units))
+	}
+	for i, want := range []string{"uniform", "nodeclock", "random"} {
+		if got := units[i].Spec.Rates; got != want {
+			t.Errorf("unit %d rates %q, want %q", i, got, want)
+		}
+	}
+	rep, err := Run(grid, Config{Workers: 2, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range rep.Cells {
+		if c.Error != "" {
+			t.Errorf("cell %s: %s", c.Label, c.Error)
+		}
+		if c.Tav <= 0 {
+			t.Errorf("cell %s (rates=%s): Tav %v", c.Label, c.Spec.Rates, c.Tav)
+		}
+	}
+}

@@ -20,6 +20,8 @@
 // one synchronous round performs n simultaneous node updates while one
 // asynchronous time unit performs ~2·|E|/n updates per node; the experiment
 // harness reports both raw rounds and the per-node-update-normalised value.
+//
+// Key types: FirstOrder, SecondOrder, OptimalBeta — the reference [5] baselines experiment E11 compares against (DESIGN.md §4).
 package syncsim
 
 import (

@@ -1,5 +1,7 @@
 // Package table renders the experiment harness's results as fixed-width
 // text or Markdown tables — the repository's "table" output format.
+//
+// Key type: Table (Render for aligned text, RenderMarkdown with pipe escaping — the REPRODUCTION.md backend, DESIGN.md §9).
 package table
 
 import (
@@ -98,7 +100,9 @@ func (t *Table) Render(w io.Writer) error {
 	return bw.Flush()
 }
 
-// RenderMarkdown writes the table as GitHub-flavoured Markdown.
+// RenderMarkdown writes the table as GitHub-flavoured Markdown. Pipe
+// characters inside cells (|E12|, set notation, …) are escaped so they
+// cannot be mistaken for column separators.
 func (t *Table) RenderMarkdown(w io.Writer) error {
 	bw := bufio.NewWriter(w)
 	if t.title != "" {
@@ -107,7 +111,7 @@ func (t *Table) RenderMarkdown(w io.Writer) error {
 	ncols := len(t.widths())
 	cell := func(cells []string, i int) string {
 		if i < len(cells) {
-			return cells[i]
+			return strings.ReplaceAll(cells[i], "|", "\\|")
 		}
 		return ""
 	}

@@ -2,6 +2,8 @@
 // trajectories, epoch boundaries) and writes them as CSV — the repository's
 // "figure" output format. A Series can be downsampled so that million-event
 // runs produce plottable files.
+//
+// Key types: Series, SampledRecorder, WriteCSV — the figure-style trajectory output of E5 and cmd/gossipsim -csv (DESIGN.md §4).
 package trace
 
 import (

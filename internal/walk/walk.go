@@ -4,6 +4,8 @@
 // probability 1/2 and −(3/2)·log n otherwise, and the statistics used to
 // check empirically that the per-epoch log-variance process of Algorithm A
 // is dominated by W̃.
+//
+// Key functions: FitTail (Theorem 3's sub-Gaussian tail, E7) and HittingQuantile (the dominating walk of E6). Claim mapping in DESIGN.md §4.
 package walk
 
 import (

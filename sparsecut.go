@@ -34,9 +34,9 @@ import (
 	"sparsecut/internal/core"
 	"sparsecut/internal/cut"
 	"sparsecut/internal/dist"
-	"sparsecut/internal/experiments"
 	"sparsecut/internal/gossip"
 	"sparsecut/internal/graph"
+	"sparsecut/internal/report"
 	"sparsecut/internal/rng"
 	"sparsecut/internal/scenario"
 	"sparsecut/internal/sim"
@@ -419,23 +419,43 @@ func RunSweep(grid SweepGrid, cfg SweepConfig) (*SweepReport, error) {
 	return sweep.Run(grid, cfg)
 }
 
-// Experiment re-exports the evaluation-suite entry type.
-type Experiment = experiments.Experiment
+// Experiment re-exports the reproduction-suite entry type (one registered
+// E1–E14 experiment).
+type Experiment = report.Entry
+
+// ReproductionDocument re-exports the finished reproduction document
+// (REPRODUCTION.md's object form; see DESIGN.md §9).
+type ReproductionDocument = report.Document
+
+// ReproductionParams re-exports the reproduction run configuration.
+type ReproductionParams = report.Params
 
 // Experiments returns the full E1–E14 evaluation suite (see DESIGN.md §4
 // for the mapping to paper claims).
-func Experiments() []Experiment { return experiments.All() }
+func Experiments() []Experiment { return report.Entries() }
 
 // RunExperiment executes one experiment by ID ("E1".."E14"), writing its
-// table or CSV series to w. Quick mode shrinks sizes for CI-grade runs.
+// Markdown section (measured-vs-bound tables plus derived PASS/FAIL
+// checks) to w and returning its headline metrics. Quick mode shrinks
+// sizes for CI-grade runs.
 func RunExperiment(w io.Writer, id string, quick bool, seed uint64) (map[string]float64, error) {
-	e, ok := experiments.ByID(id)
+	e, ok := report.ByID(id)
 	if !ok {
 		return nil, fmt.Errorf("sparsecut: unknown experiment %q", id)
 	}
-	out, err := e.Run(w, experiments.Params{Quick: quick, Seed: seed})
+	sec, err := e.RunEntry(report.Params{Quick: quick, Seed: seed})
 	if err != nil {
 		return nil, err
 	}
-	return out.Metrics, nil
+	if err := sec.WriteMarkdown(w); err != nil {
+		return nil, err
+	}
+	return sec.MetricMap(), nil
+}
+
+// GenerateReproduction runs the whole E1–E14 suite and returns the
+// bound-checked document; render it with WriteMarkdown/WriteJSON (this is
+// what cmd/repro does).
+func GenerateReproduction(p ReproductionParams) (*ReproductionDocument, error) {
+	return report.Generate(p)
 }
