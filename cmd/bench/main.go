@@ -38,6 +38,7 @@ type Report struct {
 	GOOS        string       `json:"goos"`
 	GOARCH      string       `json:"goarch"`
 	NumCPU      int          `json:"num_cpu"`
+	GOMAXPROCS  int          `json:"gomaxprocs"`
 	Quick       bool         `json:"quick"`
 	Micro       []MicroBench `json:"micro"`
 	Experiments []ExpTiming  `json:"experiments"`
@@ -382,6 +383,7 @@ func main() {
 		GOOS:        runtime.GOOS,
 		GOARCH:      runtime.GOARCH,
 		NumCPU:      runtime.NumCPU(),
+		GOMAXPROCS:  runtime.GOMAXPROCS(0),
 		Quick:       *quick,
 	}
 	rep.Micro = microBenches()

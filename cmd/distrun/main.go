@@ -14,13 +14,29 @@
 // -tcp carries every protocol message over loopback TCP sockets. -scale
 // sets the wall-clock length of one simulated time unit: smaller runs
 // faster but leaves less headroom over transport latency.
+//
+// -http serves the runtime's live telemetry while the cluster runs:
+// exchange/abort/message counters, the exchange-latency histogram and the
+// convergence-progress gauges under expvar at /debug/vars (key
+// "sparsecut"), plus the standard net/http/pprof profiling endpoints —
+//
+//	distrun -graph dumbbell -n 64 -rule A -drop 0.1 -until 2000 -http :6060
+//	curl -s localhost:6060/debug/vars | jq .sparsecut
+//
+// -metrics writes the same snapshot as JSON to a file when the run ends
+// (either flag enables instrumentation; both default off, leaving the
+// runtime uninstrumented).
 package main
 
 import (
 	"context"
+	"expvar"
 	"flag"
 	"fmt"
 	"math"
+	"net"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"time"
 
@@ -41,6 +57,8 @@ func main() {
 		useTCP    = flag.Bool("tcp", false, "carry messages over loopback TCP instead of in-memory channels")
 		seed      = flag.Uint64("seed", 1, "random seed")
 		compare   = flag.Bool("compare", false, "also run the sequential simulator on the same workload")
+		httpAddr  = flag.String("http", "", "serve live expvar telemetry + pprof on this address (e.g. :6060) during the run")
+		metrics   = flag.String("metrics", "", "write the final telemetry snapshot JSON to this file")
 	)
 	flag.Parse()
 
@@ -63,6 +81,11 @@ func main() {
 		Seed:      *seed,
 		Transport: tr,
 	}
+	var reg *sparsecut.MetricsRegistry
+	if *httpAddr != "" || *metrics != "" {
+		reg = sparsecut.NewMetricsRegistry()
+		cfg.Metrics = reg
+	}
 	if *delay > 0 {
 		// The lock timeout must exceed the worst-case message round trip
 		// (three one-way hops) or the initiator refuses every proposal as
@@ -74,6 +97,20 @@ func main() {
 		fatal(err)
 	}
 	var0 := cl.Variance()
+
+	if *httpAddr != "" {
+		expvar.Publish("sparsecut", expvar.Func(func() any { return reg.Snapshot() }))
+		ln, err := newHTTPListener(*httpAddr)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("telemetry:  http://%s/debug/vars (expvar) + /debug/pprof/\n", ln.Addr())
+		go func() {
+			if err := http.Serve(ln, nil); err != nil {
+				fmt.Fprintln(os.Stderr, "distrun: telemetry server:", err)
+			}
+		}()
+	}
 
 	fmt.Printf("graph:      %s\n", g)
 	fmt.Printf("partition:  %s\n", part)
@@ -89,6 +126,31 @@ func main() {
 	fmt.Printf("exchanges:  %d committed, %d aborted\n", cl.Exchanges(), cl.Aborted())
 	fmt.Printf("mean drift: %.6g\n", math.Abs(cl.Mean()))
 	fmt.Printf("var ratio:  %.6g\n", cl.Variance()/var0)
+
+	if reg != nil {
+		snap := reg.Snapshot()
+		fmt.Printf("messages:   %d lock, %d propose, %d nack, %d commit; %d dropped, %d delayed\n",
+			snap.Counters["dist.msg.sent.lock"], snap.Counters["dist.msg.sent.propose"],
+			snap.Counters["dist.msg.sent.nack"], snap.Counters["dist.msg.sent.commit"],
+			snap.Counters["dist.transport.dropped"], snap.Counters["dist.transport.delayed"])
+		if lat, ok := snap.Histograms["dist.exchange.latency_ns"]; ok && lat.Count > 0 {
+			fmt.Printf("latency:    %v mean over %d committed exchanges\n",
+				(time.Duration(lat.Sum / lat.Count)).Round(time.Microsecond), lat.Count)
+		}
+		if *metrics != "" {
+			f, err := os.Create(*metrics)
+			if err != nil {
+				fatal(err)
+			}
+			if err := snap.WriteJSON(f); err != nil {
+				fatal(err)
+			}
+			if err := f.Close(); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("metrics:    wrote snapshot to %s\n", *metrics)
+		}
+	}
 
 	if *compare {
 		alg, err := buildSimAlgorithm(*ruleKind, g, part, x0, *epochK)
@@ -172,6 +234,16 @@ func buildTransport(g *sparsecut.Graph, useTCP bool, drop float64, delay time.Du
 		desc += fmt.Sprintf(" + %.0f%% loss", drop*100)
 	}
 	return tr, desc, nil
+}
+
+// newHTTPListener binds the telemetry address up front so the printed URL
+// carries a concrete port even when the user asks for ":0".
+func newHTTPListener(addr string) (net.Listener, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("telemetry listener on %q: %w", addr, err)
+	}
+	return ln, nil
 }
 
 func fatal(err error) {

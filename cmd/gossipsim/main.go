@@ -11,13 +11,16 @@
 //	gossipsim -algo convex -alpha 0.8 ...
 //
 // With -csv the sampled trajectory is written to stdout as
-// "series,t,value" rows; otherwise a short summary is printed.
+// "series,t,value" rows; otherwise a short summary is printed. -progress
+// adds a periodic events/sec + variance meter on stderr; stdout output
+// (including -csv) is byte-identical with or without it.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"sparsecut/internal/scenario"
 	"sparsecut/internal/sim"
@@ -34,6 +37,7 @@ func main() {
 		until     = flag.Float64("until", 50, "simulated time horizon")
 		seed      = flag.Uint64("seed", 1, "random seed")
 		csv       = flag.Bool("csv", false, "emit the sampled variance trajectory as CSV")
+		progress  = flag.Bool("progress", false, "print a periodic events/sec + variance meter to stderr")
 		initKind  = flag.String("init", "", "initial vector: worstcase|spike|random|gaussian|linear")
 		rateKind  = flag.String("rates", "", "clock-rate model: uniform|nodeclock|random")
 		list      = flag.Bool("families", false, "list the graph-family registry and exit")
@@ -87,8 +91,17 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	opts := []sim.Option{sim.WithSeed(*seed),
-		sim.WithObserver(func(t float64, _ int64) { rec.Record(t, alg.Variance()/var0) })}
+	observe := func(t float64, _ int64) { rec.Record(t, alg.Variance()/var0) }
+	var meter *progressMeter
+	if *progress {
+		meter = newProgressMeter()
+		record := observe
+		observe = func(t float64, ev int64) {
+			record(t, ev)
+			meter.tick(t, ev, func() float64 { return alg.Variance() / var0 })
+		}
+	}
+	opts := []sim.Option{sim.WithSeed(*seed), sim.WithObserver(observe)}
 	if res.Rates != nil {
 		opts = append(opts, sim.WithRates(res.Rates))
 	}
@@ -97,6 +110,9 @@ func main() {
 		fatal(err)
 	}
 	t, events := eng.Run(sim.Until(*until))
+	if meter != nil {
+		meter.finish(t, events, alg.Variance()/var0)
+	}
 
 	if *csv {
 		ds, err := rec.Series.Downsample(1000)
@@ -118,6 +134,44 @@ func main() {
 	fmt.Printf("simulated:  t=%.4g (%d events)\n", t, events)
 	fmt.Printf("mean:       %.6g\n", alg.Mean())
 	fmt.Printf("var ratio:  %.6g\n", alg.Variance()/var0)
+}
+
+// progressMeter prints a periodic one-line telemetry reading to stderr.
+// The event-count mask keeps the common case to one AND + branch per
+// event; the wall-clock gate then limits actual prints to ~5 per second.
+// It writes only to stderr, so -csv stdout stays byte-identical.
+type progressMeter struct {
+	start      time.Time
+	lastPrint  time.Time
+	lastEvents int64
+}
+
+func newProgressMeter() *progressMeter {
+	now := time.Now()
+	return &progressMeter{start: now, lastPrint: now}
+}
+
+func (p *progressMeter) tick(t float64, events int64, varRatio func() float64) {
+	if events&8191 != 0 {
+		return
+	}
+	now := time.Now()
+	gap := now.Sub(p.lastPrint)
+	if gap < 200*time.Millisecond {
+		return
+	}
+	rate := float64(events-p.lastEvents) / gap.Seconds()
+	fmt.Fprintf(os.Stderr, "progress: t=%-10.4g %12d events  %10.4g ev/s  var %.4g\n",
+		t, events, rate, varRatio())
+	p.lastPrint = now
+	p.lastEvents = events
+}
+
+func (p *progressMeter) finish(t float64, events int64, varRatio float64) {
+	wall := time.Since(p.start)
+	rate := float64(events) / wall.Seconds()
+	fmt.Fprintf(os.Stderr, "progress: t=%-10.4g %12d events  %10.4g ev/s  var %.4g  (done in %v)\n",
+		t, events, rate, varRatio, wall.Round(time.Millisecond))
 }
 
 func fatal(err error) {

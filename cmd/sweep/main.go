@@ -15,6 +15,12 @@
 // (geometric). The E4 headline reproduction is simply:
 //
 //	sweep -family dumbbell -n 32..256..x2 -cut 1 -algo vanilla,A
+//
+// Telemetry is side-channel only — stdout stays byte-deterministic:
+// -progress draws an in-place done/total + cells/s + ETA line on stderr,
+// -metrics dumps the run's counters and per-cell wall-time histogram as
+// JSON, and -cpuprofile samples carry pprof labels (sweep_family,
+// sweep_algo) so profile time attributes per scenario family.
 package main
 
 import (
@@ -25,7 +31,9 @@ import (
 	"runtime/pprof"
 	"strconv"
 	"strings"
+	"time"
 
+	"sparsecut/internal/metrics"
 	"sparsecut/internal/scenario"
 	"sparsecut/internal/sweep"
 )
@@ -48,6 +56,8 @@ func main() {
 		workers  = flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS); does not affect results")
 		jsonOut  = flag.String("json", "", "write the JSON report to this file ('-' = stdout, replacing the table)")
 		quiet    = flag.Bool("q", false, "suppress per-cell progress on stderr")
+		progress = flag.Bool("progress", false, "replace per-cell lines with one in-place done/total + cells/s + ETA line on stderr")
+		metOut   = flag.String("metrics", "", "write the sweep telemetry snapshot (cells started/completed/errored, wall-time histogram) as JSON to this file")
 		list     = flag.Bool("families", false, "list the graph-family registry and exit")
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile of the grid run to this file (go tool pprof)")
 		memProf  = flag.String("memprofile", "", "write a post-run heap profile to this file (go tool pprof)")
@@ -99,14 +109,34 @@ func main() {
 	}
 
 	cfg := sweep.Config{Workers: *workers, Seed: *seed}
+	var reg *metrics.Registry
+	if *metOut != "" {
+		reg = metrics.NewRegistry()
+		cfg.Metrics = reg
+	}
 	total := 0
 	if units, err := sweep.Expand(grid, *seed); err != nil {
 		fatal(err)
 	} else {
 		total = len(units)
 	}
+	// All progress goes to stderr: stdout (tables, -json -) stays
+	// byte-deterministic whatever display mode is chosen.
 	done := 0
-	if !*quiet {
+	switch {
+	case *progress:
+		start := time.Now()
+		cfg.OnCell = func(c sweep.Cell) {
+			done++
+			elapsed := time.Since(start)
+			rate := float64(done) / elapsed.Seconds()
+			eta := time.Duration(float64(elapsed) / float64(done) * float64(total-done)).Round(time.Second)
+			fmt.Fprintf(os.Stderr, "\rsweep: %d/%d cells  %.3g cells/s  ETA %v   ", done, total, rate, eta)
+			if done == total {
+				fmt.Fprintln(os.Stderr)
+			}
+		}
+	case !*quiet:
 		cfg.OnCell = func(c sweep.Cell) {
 			done++
 			status := c.TavString()
@@ -138,6 +168,18 @@ func main() {
 	}
 	if err != nil {
 		fatal(err)
+	}
+	if reg != nil {
+		f, err := os.Create(*metOut)
+		if err != nil {
+			fatal(err)
+		}
+		if err := reg.Snapshot().WriteJSON(f); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
 	}
 	if *memProf != "" {
 		f, err := os.Create(*memProf)

@@ -83,6 +83,12 @@ type Config struct {
 	// only; the Result is byte-identical for any width. Ignored by
 	// Estimate.
 	BatchWidth int
+	// Observer, when non-nil, receives periodic sim.BatchStats from
+	// EstimateBatched's engines, with Events accumulated across batches so
+	// the meter is monotone over the whole estimate. Observation never
+	// consumes randomness: the Result is byte-identical with or without
+	// an observer. Ignored by Estimate.
+	Observer func(sim.BatchStats)
 }
 
 func (c Config) withDefaults() Config {

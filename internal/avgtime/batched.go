@@ -61,6 +61,7 @@ func EstimateBatched(g *graph.Graph, rates []float64, factory EnsembleFactory, c
 	}
 
 	res := Result{PerTrial: make([]float64, 0, cfg.Trials)}
+	var chunksSoFar int64
 	for lo := 0; lo < cfg.Trials; lo += width {
 		hi := min(lo+width, cfg.Trials)
 		kern, err := factory(hi-lo, algStreams[lo:hi])
@@ -87,6 +88,17 @@ func EstimateBatched(g *graph.Graph, rates []float64, factory EnsembleFactory, c
 		if rates != nil {
 			opts = append(opts, sim.WithBatchRates(rates))
 		}
+		if cfg.Observer != nil {
+			// Offset the per-engine event count by the trials already
+			// finished so the observer sees one monotone meter across
+			// batches; chunks likewise.
+			baseEvents, baseChunks := res.Events, chunksSoFar
+			opts = append(opts, sim.WithBatchObserver(func(st sim.BatchStats) {
+				st.Events += baseEvents
+				st.Chunks += baseChunks
+				cfg.Observer(st)
+			}))
+		}
 		eng, err := sim.NewBatchEngine(g, kern, simStreams[lo:hi], opts...)
 		if err != nil {
 			return Result{}, fmt.Errorf("avgtime: %w", err)
@@ -104,6 +116,7 @@ func EstimateBatched(g *graph.Graph, rates []float64, factory EnsembleFactory, c
 			res.PerTrial = append(res.PerTrial, tr.LastExceed)
 		}
 		res.Events += eng.Events()
+		chunksSoFar += eng.Chunks()
 	}
 
 	q, err := stats.Quantile(res.PerTrial, cfg.Quantile)

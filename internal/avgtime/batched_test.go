@@ -212,3 +212,44 @@ func TestEstimateBatchedCloseToLegacy(t *testing.T) {
 		t.Errorf("batched Tav %v vs legacy %v (ratio %v)", batched.Tav, legacy.Tav, ratio)
 	}
 }
+
+// Config.Observer is telemetry-only: the Result must be byte-identical
+// with and without one, and the forwarded meter must stay monotone across
+// batch boundaries (the estimator offsets each engine's counts by the
+// trials already finished).
+func TestEstimateBatchedObserverInert(t *testing.T) {
+	g, part, err := graph.Dumbbell(10, 10, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x0 := gossip.CutIndicator(part)
+	base := Config{Trials: 9, Seed: 11, MarginFactor: 1, BatchWidth: 3}
+
+	plain, err := EstimateBatched(g, nil, vanillaEnsembleFactory(g, x0), base)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var got []sim.BatchStats
+	cfg := base
+	cfg.Observer = func(st sim.BatchStats) { got = append(got, st) }
+	observed, err := EstimateBatched(g, nil, vanillaEnsembleFactory(g, x0), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if !reflect.DeepEqual(plain, observed) {
+		t.Errorf("result diverged under observation: %+v vs %+v", plain, observed)
+	}
+	if len(got) == 0 {
+		t.Fatal("observer never called")
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i].Events <= got[i-1].Events {
+			t.Errorf("meter not monotone across batches: %+v then %+v", got[i-1], got[i])
+		}
+	}
+	if last := got[len(got)-1]; last.Events != observed.Events {
+		t.Errorf("final observed events %d != Result.Events %d", last.Events, observed.Events)
+	}
+}

@@ -30,6 +30,7 @@ import (
 	"time"
 
 	"sparsecut/internal/graph"
+	"sparsecut/internal/metrics"
 	"sparsecut/internal/rng"
 )
 
@@ -56,6 +57,14 @@ type ClusterConfig struct {
 	// ResendEvery is the proposal retransmission lease period (default
 	// LockTimeout/2).
 	ResendEvery time.Duration
+	// Metrics, when non-nil, receives the runtime's telemetry: exchange
+	// counters (proposed/committed/aborted), per-kind message counters, a
+	// committed-exchange latency histogram, live convergence-progress
+	// gauges, the rule's tick/swap counters and the transport stack's
+	// loss/latency/byte counters (see metrics.go for the full name list).
+	// nil disables telemetry at near-zero hot-path cost. Use one registry
+	// per cluster.
+	Metrics *metrics.Registry
 }
 
 // Cluster runs a Rule as a real concurrent message-passing system on a
@@ -92,6 +101,10 @@ type Cluster struct {
 	errMu     sync.Mutex
 	sendErr   error
 	runCancel context.CancelFunc
+
+	// met is the telemetry plane; all fields nil (every hook a no-op)
+	// unless ClusterConfig.Metrics was set.
+	met clusterMetrics
 }
 
 // NewCluster builds a runtime for rule on g with initial values x0
@@ -147,6 +160,9 @@ func NewCluster(g *graph.Graph, x0 []float64, rule Rule, cfg ClusterConfig) (*Cl
 			return nil, fmt.Errorf("dist: mailbox for node %d: %w", i, err)
 		}
 		c.nodes[i] = newNode(i, c, root.Split(), inbox, x0[i])
+	}
+	if cfg.Metrics != nil {
+		c.instrument(cfg.Metrics)
 	}
 	return c, nil
 }
@@ -226,6 +242,7 @@ func (c *Cluster) Run(ctx context.Context, duration float64) error {
 			if init.lastApplied[nd.id] >= nd.pend.msg.Seq {
 				nd.x -= nd.pend.msg.X
 				c.exchanges.Add(1)
+				c.met.publish(nd.id, nd.x)
 			}
 			nd.pend = nil
 		}

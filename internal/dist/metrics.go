@@ -1,0 +1,134 @@
+package dist
+
+import (
+	"math"
+	"strings"
+	"sync/atomic"
+
+	"sparsecut/internal/metrics"
+)
+
+// clusterMetrics is the cluster's telemetry plane, populated only when
+// ClusterConfig.Metrics is set. Disabled (the zero value) every field is
+// nil, so the hot-path hooks in node.go reduce to nil-receiver no-ops —
+// the runtime's behaviour and random streams are identical with telemetry
+// on or off; only wall-clock observation is added.
+//
+// The per-node/per-cluster split the instrumentation follows: counters are
+// sharded by node ID (each node goroutine writes its own cache line) and
+// aggregated per cluster at snapshot time; already-counted state (commit
+// and abort totals, rule tick counters, transport loss counters) is
+// exported through snapshot-time reader funcs at zero hot-path cost.
+type clusterMetrics struct {
+	// proposed counts initiations (LOCK sent), sharded by initiator.
+	proposed *metrics.Counter
+	// sent counts protocol messages handed to the transport, per kind,
+	// sharded by sender. Indexed by MsgKind (1..4; slot 0 unused).
+	sent [5]*metrics.Counter
+	// latency is the committed-exchange round trip observed at the
+	// initiator: LOCK sent → PROPOSE applied, in nanoseconds.
+	latency *metrics.Histogram
+	// live mirrors every node's current value (float64 bits), written by
+	// the owning node after each applied delta, so the convergence gauges
+	// can be computed while the run is in flight. It is a monitoring view:
+	// reads are atomic per node but not a consistent cut across nodes.
+	live []atomic.Uint64
+}
+
+// publish records node id's new value into the live mirror (no-op when
+// telemetry is disabled).
+func (m *clusterMetrics) publish(id int, x float64) {
+	if m.live == nil {
+		return
+	}
+	m.live[id].Store(math.Float64bits(x))
+}
+
+// instrument registers the cluster's instruments on reg. One registry per
+// cluster: re-instrumenting a second cluster on the same registry
+// accumulates counters and rebinds the reader funcs to the newest cluster.
+func (c *Cluster) instrument(reg *metrics.Registry) {
+	c.met.proposed = reg.Counter("dist.exchange.proposed")
+	reg.CounterFunc("dist.exchange.committed", c.Exchanges)
+	reg.CounterFunc("dist.exchange.aborted", c.Aborted)
+	for _, k := range []MsgKind{MsgLock, MsgPropose, MsgNack, MsgCommit} {
+		c.met.sent[k] = reg.Counter("dist.msg.sent." + strings.ToLower(k.String()))
+	}
+	c.met.latency = reg.Histogram("dist.exchange.latency_ns")
+
+	c.met.live = make([]atomic.Uint64, len(c.values))
+	for i, v := range c.values {
+		c.met.live[i].Store(math.Float64bits(v))
+	}
+	// The convergence-progress gauges: current variance of the live value
+	// mirror, normalised by the variance at instrumentation time. The
+	// ratio starts at 1 and decays toward 0 as the exchange rule averages
+	// the network — the live "how converged are we" signal cmd/distrun
+	// serves over -http.
+	var0 := liveVariance(c.met.live)
+	reg.GaugeFunc("dist.progress.var_ratio", func() float64 {
+		if var0 == 0 {
+			return 0
+		}
+		return liveVariance(c.met.live) / var0
+	})
+	reg.GaugeFunc("dist.progress.mean", func() float64 { return liveMean(c.met.live) })
+
+	if r, ok := c.rule.(*SparseCutRule); ok {
+		reg.CounterFunc("dist.rule.ticks", r.Ticks)
+		reg.CounterFunc("dist.rule.swaps", r.Swaps)
+	}
+	InstrumentTransport(reg, c.tr)
+}
+
+func liveMean(live []atomic.Uint64) float64 {
+	if len(live) == 0 {
+		return math.NaN()
+	}
+	s := 0.0
+	for i := range live {
+		s += math.Float64frombits(live[i].Load())
+	}
+	return s / float64(len(live))
+}
+
+func liveVariance(live []atomic.Uint64) float64 {
+	if len(live) == 0 {
+		return 0
+	}
+	m := liveMean(live)
+	s := 0.0
+	for i := range live {
+		d := math.Float64frombits(live[i].Load()) - m
+		s += d * d
+	}
+	return s / float64(len(live))
+}
+
+// InstrumentTransport registers snapshot-time readers for the transport
+// stack's internal counters — message loss, injected latency, congestion
+// drops, TCP wire bytes — walking decorator layers down to the base
+// transport. Nothing is added to the send path: the transports already
+// count these atomically; the registry only learns how to read them.
+func InstrumentTransport(reg *metrics.Registry, tr Transport) {
+	for tr != nil {
+		switch t := tr.(type) {
+		case *DropTransport:
+			reg.CounterFunc("dist.transport.dropped", t.Dropped)
+			tr = t.inner
+		case *DelayTransport:
+			reg.CounterFunc("dist.transport.delayed", t.Delayed)
+			tr = t.inner
+		case *ChanTransport:
+			reg.CounterFunc("dist.transport.congested", t.Congested)
+			return
+		case *TCPTransport:
+			reg.CounterFunc("dist.transport.congested", t.Congested)
+			reg.CounterFunc("dist.transport.tcp_bytes_out", t.BytesOut)
+			reg.CounterFunc("dist.transport.tcp_bytes_in", t.BytesIn)
+			return
+		default:
+			return // an external transport; nothing known to read
+		}
+	}
+}

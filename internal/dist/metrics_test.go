@@ -1,0 +1,184 @@
+package dist
+
+import (
+	"context"
+	"math"
+	"testing"
+	"time"
+
+	"sparsecut/internal/metrics"
+	"sparsecut/internal/rng"
+)
+
+// TestInstrumentedLossyRun is the telemetry acceptance check: a cluster on
+// a lossy, delayed transport with ClusterConfig.Metrics set must export
+// nonzero exchange, abort, message and transport-loss counters, a
+// populated latency histogram, and convergence gauges consistent with the
+// cluster's own accessors — while preserving the sum invariant exactly as
+// the uninstrumented runtime does. Run under -race this also proves the
+// node goroutines and the snapshot reader do not race on the telemetry
+// plane.
+func TestInstrumentedLossyRun(t *testing.T) {
+	g, part, x0 := dumbbellCase(t)
+	rule, err := NewSparseCutRule(part, part.CutEdges()[0], 2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	delay, err := NewDelayTransport(NewChanTransport(8*g.NumNodes()), 2*time.Millisecond, rng.New(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := NewDropTransport(delay, 0.2, rng.New(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := metrics.NewRegistry()
+	cl, err := NewCluster(g, x0, rule, ClusterConfig{
+		TimeScale: 8 * time.Millisecond, Seed: 1, Transport: tr,
+		LockTimeout: 20 * time.Millisecond,
+		Metrics:     reg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Snapshot concurrently with the run — the live-monitoring use case.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for {
+			select {
+			case <-done:
+				return
+			default:
+				_ = reg.Snapshot()
+				time.Sleep(time.Millisecond)
+			}
+		}
+	}()
+	// How contended the lock protocol gets is decided by wall-clock
+	// scheduling, so one leg occasionally quiesces with aborts only. Run is
+	// resumable: keep adding legs (bounded) until an exchange commits and
+	// the transport has exercised both loss modes.
+	var runErr error
+	for leg := 0; leg < 10; leg++ {
+		if runErr = cl.Run(context.Background(), 10); runErr != nil {
+			break
+		}
+		if cl.Exchanges() > 0 && tr.Dropped() > 0 && delay.Delayed() > 0 {
+			break
+		}
+	}
+	done <- struct{}{}
+	<-done
+	if runErr != nil {
+		t.Fatal(runErr)
+	}
+
+	snap := reg.Snapshot()
+	for _, name := range []string{
+		"dist.exchange.proposed",
+		"dist.exchange.committed",
+		"dist.exchange.aborted",
+		"dist.msg.sent.lock",
+		"dist.msg.sent.propose",
+		"dist.msg.sent.commit",
+		"dist.transport.dropped",
+		"dist.transport.delayed",
+	} {
+		if snap.Counters[name] == 0 {
+			t.Errorf("counter %q is zero after a lossy run (snapshot: %+v)", name, snap.Counters)
+		}
+	}
+	if got, want := snap.Counters["dist.exchange.committed"], cl.Exchanges(); got != want {
+		t.Errorf("committed counter %d != Exchanges() %d", got, want)
+	}
+	if got, want := snap.Counters["dist.exchange.aborted"], cl.Aborted(); got != want {
+		t.Errorf("aborted counter %d != Aborted() %d", got, want)
+	}
+	// Initiations split exactly into commits and aborts at quiescence.
+	if p, c, a := snap.Counters["dist.exchange.proposed"], snap.Counters["dist.exchange.committed"], snap.Counters["dist.exchange.aborted"]; p != c+a {
+		t.Errorf("proposed %d != committed %d + aborted %d", p, c, a)
+	}
+	// The designated edge is one of ~30 and its LOCKs face drops, delays
+	// and busy responders, so a short run may legitimately consume zero
+	// epoch ticks — the telemetry contract is equality with the rule's own
+	// counter, whatever the count.
+	if got, want := snap.Counters["dist.rule.ticks"], rule.Ticks(); got != want {
+		t.Errorf("rule tick counter %d != Ticks() %d", got, want)
+	}
+	lat := snap.Histograms["dist.exchange.latency_ns"]
+	if lat.Count != snap.Counters["dist.exchange.committed"] {
+		t.Errorf("latency histogram has %d samples, want one per committed exchange (%d)",
+			lat.Count, snap.Counters["dist.exchange.committed"])
+	}
+	if lat.Count > 0 && lat.Sum <= 0 {
+		t.Error("latency histogram sum not positive")
+	}
+
+	// The live gauges must agree with the cluster's own post-run view.
+	if got, want := snap.Gauges["dist.progress.mean"], cl.Mean(); math.Abs(got-want) > 1e-12 {
+		t.Errorf("live mean gauge %v != Mean() %v", got, want)
+	}
+	ratio := snap.Gauges["dist.progress.var_ratio"]
+	if ratio < 0 || ratio != ratio {
+		t.Errorf("var_ratio gauge %v invalid", ratio)
+	}
+	// Telemetry must not perturb the protocol's sum invariant.
+	if drift := math.Abs(sum(cl.Values()) - sum(x0)); drift > 1e-9 {
+		t.Errorf("sum drifted by %g with telemetry enabled", drift)
+	}
+}
+
+// TestInstrumentedTCPBytes checks the TCP transport's wire-byte counters
+// flow into the registry.
+func TestInstrumentedTCPBytes(t *testing.T) {
+	g, _, x0 := dumbbellCase(t)
+	tr, err := NewTCPTransport(g.NumNodes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+	reg := metrics.NewRegistry()
+	cl, err := NewCluster(g, x0, NewVanillaRule(), ClusterConfig{
+		TimeScale: 4 * time.Millisecond, Seed: 1, Transport: tr, Metrics: reg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.Run(context.Background(), 5); err != nil {
+		t.Fatal(err)
+	}
+	snap := reg.Snapshot()
+	if snap.Counters["dist.transport.tcp_bytes_out"] == 0 {
+		t.Error("no outbound TCP bytes counted")
+	}
+	if snap.Counters["dist.transport.tcp_bytes_in"] == 0 {
+		t.Error("no inbound TCP bytes counted")
+	}
+	if cl.Exchanges() == 0 {
+		t.Error("no exchanges committed over TCP")
+	}
+}
+
+// TestDisabledMetricsIsNilSafe runs the uninstrumented path (the default)
+// and asserts nothing is recorded and nothing panics — the hot-path hooks
+// must degrade to no-ops.
+func TestDisabledMetricsIsNilSafe(t *testing.T) {
+	g, _, x0 := dumbbellCase(t)
+	cl, err := NewCluster(g, x0, NewVanillaRule(), ClusterConfig{
+		TimeScale: 2 * time.Millisecond, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.Run(context.Background(), 5); err != nil {
+		t.Fatal(err)
+	}
+	if cl.Exchanges() == 0 {
+		t.Error("no exchanges committed")
+	}
+	if cl.met.proposed != nil || cl.met.live != nil || cl.met.latency != nil {
+		t.Error("telemetry plane populated without a registry")
+	}
+}

@@ -95,6 +95,9 @@ type awaitState struct {
 	// own counter and abort an unrelated healthy exchange.
 	peer     int
 	deadline time.Time
+	// started is when the initiation's LOCK went out; the telemetry
+	// latency histogram measures LOCK-sent → PROPOSE-applied from it.
+	started time.Time
 }
 
 type pendState struct {
@@ -209,8 +212,9 @@ func (n *node) initiate(now time.Time) {
 	adj := n.cl.g.Neighbors(graph.NodeID(n.id))
 	he := adj[n.r.Intn(len(adj))]
 	n.seq++
-	n.await = &awaitState{seq: n.seq, peer: int(he.Peer), deadline: now.Add(n.cl.lockTimeout)}
+	n.await = &awaitState{seq: n.seq, peer: int(he.Peer), deadline: now.Add(n.cl.lockTimeout), started: now}
 	n.cl.awaiting.Add(1)
+	n.cl.met.proposed.Inc(n.id)
 	n.send(Message{Kind: MsgLock, From: n.id, To: int(he.Peer), Seq: n.seq, Edge: he.Edge, X: n.x})
 }
 
@@ -247,8 +251,12 @@ func (n *node) handle(m Message, draining bool) {
 			// Our current exchange: apply our half and commit.
 			n.lastApplied[m.From] = m.Seq
 			n.x += m.X
+			if h := n.cl.met.latency; h != nil {
+				h.Observe(time.Since(n.await.started).Nanoseconds())
+			}
 			n.await = nil
 			n.cl.awaiting.Add(-1)
+			n.cl.met.publish(n.id, n.x)
 			n.send(Message{Kind: MsgCommit, From: n.id, To: m.From, Seq: m.Seq})
 		case m.Seq <= n.lastApplied[m.From]:
 			// Duplicate of a proposal we already applied (our COMMIT was
@@ -267,6 +275,7 @@ func (n *node) handle(m Message, draining bool) {
 			n.pend = nil
 			n.cl.pending.Add(-1)
 			n.cl.exchanges.Add(1)
+			n.cl.met.publish(n.id, n.x)
 		}
 
 	case MsgNack:
@@ -286,6 +295,7 @@ func (n *node) handle(m Message, draining bool) {
 
 func (n *node) send(m Message) {
 	m.Epoch = n.cl.epoch
+	n.cl.met.sent[m.Kind].Inc(n.id)
 	if err := n.cl.tr.Send(m); err != nil {
 		n.cl.noteSendErr(err)
 	}

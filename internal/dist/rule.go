@@ -135,6 +135,10 @@ func (r *SparseCutRule) Delta(e graph.EdgeID, _ graph.NodeID, xInit, xResp float
 // Swaps returns the number of non-convex swaps committed so far.
 func (r *SparseCutRule) Swaps() int64 { return r.swaps.Load() }
 
+// Ticks returns the number of exchanges of the designated edge that have
+// consumed an epoch tick so far.
+func (r *SparseCutRule) Ticks() int64 { return r.ticks.Load() }
+
 // EpochTicks returns the swap period K in committed ticks of ec.
 func (r *SparseCutRule) EpochTicks() int64 { return r.epochK }
 

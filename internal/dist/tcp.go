@@ -3,6 +3,7 @@ package dist
 import (
 	"encoding/gob"
 	"fmt"
+	"io"
 	"net"
 	"sync"
 	"sync/atomic"
@@ -26,6 +27,33 @@ type TCPTransport struct {
 	wg       sync.WaitGroup
 
 	congested atomic.Int64
+	bytesOut  atomic.Int64
+	bytesIn   atomic.Int64
+}
+
+// countWriter and countReader tally wire bytes as the gob streams move
+// through them, so telemetry sees real serialized volume, not Message
+// struct sizes.
+type countWriter struct {
+	w io.Writer
+	n *atomic.Int64
+}
+
+func (cw *countWriter) Write(p []byte) (int, error) {
+	n, err := cw.w.Write(p)
+	cw.n.Add(int64(n))
+	return n, err
+}
+
+type countReader struct {
+	r io.Reader
+	n *atomic.Int64
+}
+
+func (cr *countReader) Read(p []byte) (int, error) {
+	n, err := cr.r.Read(p)
+	cr.n.Add(int64(n))
+	return n, err
 }
 
 type tcpConn struct {
@@ -94,7 +122,7 @@ func (t *TCPTransport) serve(addr int, c net.Conn) {
 		t.mu.Unlock()
 		_ = c.Close()
 	}()
-	dec := gob.NewDecoder(c)
+	dec := gob.NewDecoder(&countReader{r: c, n: &t.bytesIn})
 	for {
 		var m Message
 		if err := dec.Decode(&m); err != nil {
@@ -119,6 +147,13 @@ func (t *TCPTransport) serve(addr int, c net.Conn) {
 // Congested returns the number of messages dropped because the
 // destination mailbox was full.
 func (t *TCPTransport) Congested() int64 { return t.congested.Load() }
+
+// BytesOut returns the total gob-encoded bytes written to outbound
+// connections.
+func (t *TCPTransport) BytesOut() int64 { return t.bytesOut.Load() }
+
+// BytesIn returns the total bytes read off accepted connections.
+func (t *TCPTransport) BytesIn() int64 { return t.bytesIn.Load() }
 
 // Port returns the loopback port the given address listens on.
 func (t *TCPTransport) Port(addr int) (int, error) {
@@ -161,7 +196,7 @@ func (t *TCPTransport) conn(to int) (*tcpConn, error) {
 		_ = c.Close()
 		return oc, nil
 	}
-	oc := &tcpConn{c: c, enc: gob.NewEncoder(c)}
+	oc := &tcpConn{c: c, enc: gob.NewEncoder(&countWriter{w: c, n: &t.bytesOut})}
 	t.outbound[to] = oc
 	return oc, nil
 }

@@ -224,12 +224,13 @@ func (t *DropTransport) Dropped() int64 { return t.dropped.Load() }
 // Because messages are delayed independently they may be reordered, which
 // the exchange protocol tolerates.
 type DelayTransport struct {
-	inner  Transport
-	max    time.Duration
-	mu     sync.Mutex
-	r      *rng.RNG
-	timers map[*time.Timer]struct{}
-	closed bool
+	inner   Transport
+	max     time.Duration
+	mu      sync.Mutex
+	r       *rng.RNG
+	timers  map[*time.Timer]struct{}
+	closed  bool
+	delayed atomic.Int64
 	// innerErr records the first delivery failure from the inner
 	// transport. Because the real Send happens asynchronously in a timer
 	// callback, its error cannot be returned to the original caller;
@@ -292,8 +293,13 @@ func (t *DelayTransport) Send(m Message) error {
 	})
 	t.timers[tm] = struct{}{}
 	t.mu.Unlock()
+	t.delayed.Add(1)
 	return nil
 }
+
+// Delayed returns the number of messages that have been scheduled through
+// the delay layer.
+func (t *DelayTransport) Delayed() int64 { return t.delayed.Load() }
 
 // Recv implements Transport.
 func (t *DelayTransport) Recv(addr int) (<-chan Message, error) { return t.inner.Recv(addr) }

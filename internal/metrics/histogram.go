@@ -1,0 +1,92 @@
+package metrics
+
+import (
+	"math"
+	"math/bits"
+	"sync/atomic"
+)
+
+// NumBuckets is the fixed bucket count of every Histogram: bucket 0 holds
+// non-positive values and bucket k (1 ≤ k ≤ 64) holds the log2 range
+// [2^(k−1), 2^k − 1]. Together they cover every int64 exactly once, so no
+// observation is ever out of range.
+const NumBuckets = 65
+
+// Histogram is a fixed-bucket log2 histogram for latencies (nanoseconds)
+// and sizes (bytes, events): 65 power-of-two buckets, an exact count and
+// an exact sum. Recording is two atomic adds — no allocation, no locking,
+// no floating point — so it is safe on hot paths; the zero value is ready
+// to use and methods are no-ops on a nil receiver.
+type Histogram struct {
+	count   atomic.Int64
+	sum     atomic.Int64
+	buckets [NumBuckets]atomic.Int64
+}
+
+// bucketIndex maps a value to its bucket: 0 for v ≤ 0, otherwise
+// bits.Len64(v), i.e. 1+floor(log2 v).
+func bucketIndex(v int64) int {
+	if v <= 0 {
+		return 0
+	}
+	return bits.Len64(uint64(v))
+}
+
+// BucketBounds returns the inclusive [lo, hi] value range of bucket i.
+// Bucket 0 is reported as [0, 0] although it also absorbs negative
+// observations (clamped — a latency or size below zero is a measurement
+// artifact, not a range to track).
+func BucketBounds(i int) (lo, hi uint64) {
+	if i <= 0 {
+		return 0, 0
+	}
+	lo = uint64(1) << (i - 1)
+	if i >= 64 {
+		return lo, math.MaxUint64
+	}
+	return lo, uint64(1)<<i - 1
+}
+
+// Observe records v. Negative values count in bucket 0 and contribute 0 to
+// the sum.
+func (h *Histogram) Observe(v int64) {
+	if h == nil {
+		return
+	}
+	if v < 0 {
+		v = 0
+	}
+	h.buckets[bucketIndex(v)].Add(1)
+	h.count.Add(1)
+	h.sum.Add(v)
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the total of all observed values (negatives clamped to 0).
+func (h *Histogram) Sum() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.sum.Load()
+}
+
+// snapshot captures the histogram's current state. Concurrent with writers
+// the buckets are each individually exact but may not form a consistent
+// cut; quiescent reads are exact.
+func (h *Histogram) snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{Count: h.count.Load(), Sum: h.sum.Load()}
+	for i := range h.buckets {
+		if n := h.buckets[i].Load(); n != 0 {
+			lo, hi := BucketBounds(i)
+			s.Buckets = append(s.Buckets, Bucket{Lo: lo, Hi: hi, Count: n})
+		}
+	}
+	return s
+}

@@ -1,0 +1,107 @@
+package metrics
+
+import (
+	"math"
+	"sync"
+	"testing"
+)
+
+// TestHistogramBucketBoundaries pins every log2 bucket edge: powers of two
+// open a new bucket, one-below stays in the previous one, and the extremes
+// (0, negatives, MaxInt64) land where documented.
+func TestHistogramBucketBoundaries(t *testing.T) {
+	cases := []struct {
+		v      int64
+		bucket int
+	}{
+		{math.MinInt64, 0}, // negatives clamp into bucket 0
+		{-1, 0},
+		{0, 0},
+		{1, 1}, // [1,1]
+		{2, 2}, // [2,3]
+		{3, 2},
+		{4, 3}, // [4,7]
+		{7, 3},
+		{8, 4},
+		{(1 << 20) - 1, 20},
+		{1 << 20, 21},
+		{math.MaxInt64, 63}, // 2^63-1 has 63 bits
+	}
+	for _, tc := range cases {
+		if got := bucketIndex(max(tc.v, 0)); got != tc.bucket {
+			t.Errorf("bucketIndex(%d) = %d, want %d", tc.v, got, tc.bucket)
+		}
+		var h Histogram
+		h.Observe(tc.v)
+		s := h.snapshot()
+		if len(s.Buckets) != 1 {
+			t.Fatalf("Observe(%d): %d non-empty buckets, want 1", tc.v, len(s.Buckets))
+		}
+		lo, hi := BucketBounds(tc.bucket)
+		if b := s.Buckets[0]; b.Lo != lo || b.Hi != hi || b.Count != 1 {
+			t.Errorf("Observe(%d): bucket [%d,%d] x%d, want [%d,%d] x1", tc.v, b.Lo, b.Hi, b.Count, lo, hi)
+		}
+	}
+}
+
+// TestHistogramBucketBoundsCoverage checks the 65 buckets tile the
+// non-negative int64 range with no gaps or overlaps.
+func TestHistogramBucketBoundsCoverage(t *testing.T) {
+	prevHi := uint64(0)
+	for i := 1; i < NumBuckets; i++ {
+		lo, hi := BucketBounds(i)
+		if lo != prevHi+1 {
+			t.Errorf("bucket %d starts at %d, want %d", i, lo, prevHi+1)
+		}
+		if hi < lo {
+			t.Errorf("bucket %d inverted: [%d,%d]", i, lo, hi)
+		}
+		prevHi = hi
+	}
+	if prevHi != math.MaxUint64 {
+		t.Errorf("last bucket ends at %d, want MaxUint64", prevHi)
+	}
+}
+
+func TestHistogramCountSum(t *testing.T) {
+	var h Histogram
+	vals := []int64{0, 1, 1, 3, 1024, -7}
+	for _, v := range vals {
+		h.Observe(v)
+	}
+	if got := h.Count(); got != int64(len(vals)) {
+		t.Errorf("Count = %d, want %d", got, len(vals))
+	}
+	if got := h.Sum(); got != 0+1+1+3+1024+0 {
+		t.Errorf("Sum = %d, want %d (negative clamped to 0)", got, 1029)
+	}
+}
+
+// TestHistogramHammer races many observers; the final count and sum must
+// be exact.
+func TestHistogramHammer(t *testing.T) {
+	var h Histogram
+	const goroutines, perG = 16, 5000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := int64(0); i < perG; i++ {
+				h.Observe(i % 1000)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := h.Count(); got != goroutines*perG {
+		t.Fatalf("Count = %d, want %d", got, goroutines*perG)
+	}
+	var wantSum int64
+	for i := int64(0); i < perG; i++ {
+		wantSum += i % 1000
+	}
+	wantSum *= goroutines
+	if got := h.Sum(); got != wantSum {
+		t.Fatalf("Sum = %d, want %d", got, wantSum)
+	}
+}

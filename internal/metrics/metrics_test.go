@@ -1,0 +1,113 @@
+package metrics
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestCounterHammer is the sharded-counter race test: many writers on
+// colliding and non-colliding shards, with concurrent readers, must end at
+// the exact total. Run under -race this is also the data-race proof.
+func TestCounterHammer(t *testing.T) {
+	var c Counter
+	const (
+		writers = 64 // 2x the shard count: every shard contended
+		perG    = 10000
+	)
+	stop := make(chan struct{})
+	var readers sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		readers.Add(1)
+		go func() {
+			defer readers.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					if v := c.Value(); v < 0 || v > writers*perG {
+						t.Errorf("mid-run Value %d outside [0, %d]", v, writers*perG)
+						return
+					}
+				}
+			}
+		}()
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(shard int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				if i%2 == 0 {
+					c.Inc(shard)
+				} else {
+					c.Add(shard, 1)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(stop)
+	readers.Wait()
+	if got := c.Value(); got != writers*perG {
+		t.Fatalf("Value = %d, want %d", got, writers*perG)
+	}
+}
+
+// TestCounterShardWrap checks out-of-range and negative shard indices are
+// reduced, not crashed on — callers pass raw node IDs.
+func TestCounterShardWrap(t *testing.T) {
+	var c Counter
+	c.Inc(NumShards)  // wraps to shard 0
+	c.Inc(-1)         // wraps somewhere in range
+	c.Add(1<<20+3, 5) // far out of range
+	if got := c.Value(); got != 7 {
+		t.Fatalf("Value = %d, want 7", got)
+	}
+}
+
+// TestNilInstruments is the disabled-path contract: every method of every
+// nil instrument is a no-op, never a panic — hot paths carry nil pointers
+// when telemetry is off.
+func TestNilInstruments(t *testing.T) {
+	var c *Counter
+	c.Inc(0)
+	c.Add(3, 10)
+	if c.Value() != 0 {
+		t.Error("nil Counter Value != 0")
+	}
+	var g *Gauge
+	g.Set(1.5)
+	if g.Value() != 0 {
+		t.Error("nil Gauge Value != 0")
+	}
+	var h *Histogram
+	h.Observe(42)
+	if h.Count() != 0 || h.Sum() != 0 {
+		t.Error("nil Histogram recorded")
+	}
+	var r *Registry
+	if r.Counter("x") != nil || r.Gauge("x") != nil || r.Histogram("x") != nil {
+		t.Error("nil Registry handed out a non-nil instrument")
+	}
+	r.CounterFunc("x", func() int64 { return 1 })
+	r.GaugeFunc("x", func() float64 { return 1 })
+	snap := r.Snapshot()
+	if len(snap.Counters)+len(snap.Gauges)+len(snap.Histograms) != 0 {
+		t.Error("nil Registry snapshot not empty")
+	}
+}
+
+func TestGaugeSetValue(t *testing.T) {
+	var g Gauge
+	if g.Value() != 0 {
+		t.Fatalf("zero Gauge reads %v", g.Value())
+	}
+	for _, v := range []float64{1.5, -3.25, 0, 1e300} {
+		g.Set(v)
+		if got := g.Value(); got != v {
+			t.Fatalf("Set(%v) read back %v", v, got)
+		}
+	}
+}

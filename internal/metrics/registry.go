@@ -1,0 +1,260 @@
+package metrics
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+)
+
+// Registry names a set of instruments and renders them into deterministic
+// snapshots. Registration is idempotent per name and kind — asking twice
+// for the same counter returns the same counter, so layers can instrument
+// themselves without coordinating — but reusing a name across kinds is a
+// programming error and panics. A nil *Registry is the disabled registry:
+// it hands out nil instruments (whose methods are no-ops) and snapshots
+// empty, so call sites never need their own enable flag.
+//
+// Func instruments (CounterFunc, GaugeFunc) are read-on-snapshot callbacks
+// for state some other layer already counts (transport drop totals, rule
+// tick counters): they add zero cost to the hot path because nothing is
+// recorded twice.
+type Registry struct {
+	mu         sync.Mutex
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	hists      map[string]*Histogram
+	counterFns map[string]func() int64
+	gaugeFns   map[string]func() float64
+}
+
+// NewRegistry returns an empty enabled registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters:   make(map[string]*Counter),
+		gauges:     make(map[string]*Gauge),
+		hists:      make(map[string]*Histogram),
+		counterFns: make(map[string]func() int64),
+		gaugeFns:   make(map[string]func() float64),
+	}
+}
+
+// checkName panics when name is already registered under a different kind
+// (r.mu must be held).
+func (r *Registry) checkName(name, kind string) {
+	conflict := ""
+	if _, ok := r.counters[name]; ok && kind != "counter" {
+		conflict = "counter"
+	}
+	if _, ok := r.gauges[name]; ok && kind != "gauge" {
+		conflict = "gauge"
+	}
+	if _, ok := r.hists[name]; ok && kind != "histogram" {
+		conflict = "histogram"
+	}
+	if _, ok := r.counterFns[name]; ok && kind != "counterfunc" {
+		conflict = "counterfunc"
+	}
+	if _, ok := r.gaugeFns[name]; ok && kind != "gaugefunc" {
+		conflict = "gaugefunc"
+	}
+	if conflict != "" {
+		panic(fmt.Sprintf("metrics: %q already registered as a %s, requested as a %s", name, conflict, kind))
+	}
+}
+
+// Counter returns the named counter, creating it on first use. Returns nil
+// on a nil registry.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.checkName(name, "counter")
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use. Returns nil on
+// a nil registry.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.checkName(name, "gauge")
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named histogram, creating it on first use. Returns
+// nil on a nil registry.
+func (r *Registry) Histogram(name string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.checkName(name, "histogram")
+	h, ok := r.hists[name]
+	if !ok {
+		h = &Histogram{}
+		r.hists[name] = h
+	}
+	return h
+}
+
+// CounterFunc registers fn as the named counter's snapshot-time reader
+// (replacing any previous reader of the same name — re-instrumenting a
+// fresh layer under an old name is the newest layer winning). No-op on a
+// nil registry or a nil fn.
+func (r *Registry) CounterFunc(name string, fn func() int64) {
+	if r == nil || fn == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.checkName(name, "counterfunc")
+	r.counterFns[name] = fn
+}
+
+// GaugeFunc registers fn as the named gauge's snapshot-time reader (same
+// replacement semantics as CounterFunc). No-op on a nil registry or a nil
+// fn.
+func (r *Registry) GaugeFunc(name string, fn func() float64) {
+	if r == nil || fn == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.checkName(name, "gaugefunc")
+	r.gaugeFns[name] = fn
+}
+
+// Bucket is one non-empty histogram bucket: the inclusive value range
+// [Lo, Hi] and its observation count.
+type Bucket struct {
+	Lo    uint64 `json:"lo"`
+	Hi    uint64 `json:"hi"`
+	Count int64  `json:"count"`
+}
+
+// HistogramSnapshot is a histogram's state: exact count, exact sum, and
+// the non-empty buckets in ascending range order.
+type HistogramSnapshot struct {
+	Count   int64    `json:"count"`
+	Sum     int64    `json:"sum"`
+	Buckets []Bucket `json:"buckets,omitempty"`
+}
+
+// Snapshot is an immutable point-in-time export of a registry. Maps
+// marshal with sorted keys (encoding/json's contract), so the JSON
+// encoding of a given snapshot is byte-deterministic: two runs recording
+// identical values export identical bytes. Concurrent with writers each
+// instrument is individually exact but the snapshot is not a consistent
+// cut across instruments.
+type Snapshot struct {
+	Counters   map[string]int64             `json:"counters,omitempty"`
+	Gauges     map[string]float64           `json:"gauges,omitempty"`
+	Histograms map[string]HistogramSnapshot `json:"histograms,omitempty"`
+}
+
+// Snapshot exports every registered instrument. A nil registry snapshots
+// empty.
+func (r *Registry) Snapshot() Snapshot {
+	var s Snapshot
+	if r == nil {
+		return s
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(r.counters)+len(r.counterFns) > 0 {
+		s.Counters = make(map[string]int64, len(r.counters)+len(r.counterFns))
+		for name, c := range r.counters {
+			s.Counters[name] = c.Value()
+		}
+		for name, fn := range r.counterFns {
+			s.Counters[name] = fn()
+		}
+	}
+	if len(r.gauges)+len(r.gaugeFns) > 0 {
+		s.Gauges = make(map[string]float64, len(r.gauges)+len(r.gaugeFns))
+		for name, g := range r.gauges {
+			s.Gauges[name] = g.Value()
+		}
+		for name, fn := range r.gaugeFns {
+			s.Gauges[name] = fn()
+		}
+	}
+	if len(r.hists) > 0 {
+		s.Histograms = make(map[string]HistogramSnapshot, len(r.hists))
+		for name, h := range r.hists {
+			s.Histograms[name] = h.snapshot()
+		}
+	}
+	return s
+}
+
+// Delta returns the change from prev to s: counters and histograms
+// subtract (names missing from prev count from zero), gauges keep s's
+// instantaneous value. Names present only in prev are dropped — a delta
+// is about what happened since, not what stopped existing.
+func (s Snapshot) Delta(prev Snapshot) Snapshot {
+	var d Snapshot
+	if len(s.Counters) > 0 {
+		d.Counters = make(map[string]int64, len(s.Counters))
+		for name, v := range s.Counters {
+			d.Counters[name] = v - prev.Counters[name]
+		}
+	}
+	if len(s.Gauges) > 0 {
+		d.Gauges = make(map[string]float64, len(s.Gauges))
+		for name, v := range s.Gauges {
+			d.Gauges[name] = v
+		}
+	}
+	if len(s.Histograms) > 0 {
+		d.Histograms = make(map[string]HistogramSnapshot, len(s.Histograms))
+		for name, h := range s.Histograms {
+			d.Histograms[name] = h.delta(prev.Histograms[name])
+		}
+	}
+	return d
+}
+
+// delta subtracts prev bucketwise, dropping buckets that did not grow.
+func (h HistogramSnapshot) delta(prev HistogramSnapshot) HistogramSnapshot {
+	before := make(map[uint64]int64, len(prev.Buckets))
+	for _, b := range prev.Buckets {
+		before[b.Lo] = b.Count
+	}
+	d := HistogramSnapshot{Count: h.Count - prev.Count, Sum: h.Sum - prev.Sum}
+	for _, b := range h.Buckets {
+		if n := b.Count - before[b.Lo]; n != 0 {
+			d.Buckets = append(d.Buckets, Bucket{Lo: b.Lo, Hi: b.Hi, Count: n})
+		}
+	}
+	return d
+}
+
+// WriteJSON writes the snapshot as indented JSON plus a trailing newline.
+// The byte stream is deterministic for a given snapshot (sorted map keys).
+func (s Snapshot) WriteJSON(w io.Writer) error {
+	data, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		return fmt.Errorf("metrics: encoding snapshot: %w", err)
+	}
+	data = append(data, '\n')
+	_, err = w.Write(data)
+	return err
+}

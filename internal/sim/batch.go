@@ -65,7 +65,9 @@ type BatchEngine struct {
 	alias    *aliasTable // nil when uniform
 	invTotal float64
 	reps     []batchReplica
-	picks    []graph.EdgeID // chunk scratch, shared across replicas
+	picks    []graph.EdgeID   // chunk scratch, shared across replicas
+	observe  func(BatchStats) // nil unless WithBatchObserver; per-pass, never per-event
+	chunks   int64
 }
 
 type batchReplica struct {
@@ -74,11 +76,42 @@ type batchReplica struct {
 	events int64
 }
 
+// BatchStats is a point-in-time view of a running BatchEngine, delivered
+// to the observer installed with WithBatchObserver once per round-robin
+// pass (every replica gets at most one chunk per pass). It exists for
+// telemetry — progress lines, events/sec meters, occupancy gauges — and
+// carries only values the engine already maintains, so observation costs
+// one closure call per R·chunkSize events and nothing at all per event.
+type BatchStats struct {
+	// Events is the total tick count across all replicas so far.
+	Events int64
+	// Chunks is the number of chunk-bridge draws consumed so far (one
+	// Gamma draw of simulated time per chunk).
+	Chunks int64
+	// Active is the number of replicas that advanced in the pass just
+	// completed; it decays to 0 as tracked replicas hit their stop rule.
+	Active int
+	// Now is the minimum simulated time over the replicas that advanced
+	// in the pass — the trailing edge of the batch.
+	Now float64
+}
+
 // BatchOption configures NewBatchEngine.
 type BatchOption func(*batchConfig)
 
 type batchConfig struct {
-	rates []float64
+	rates   []float64
+	observe func(BatchStats)
+}
+
+// WithBatchObserver installs a telemetry callback invoked once per
+// round-robin pass of RunEvents and RunTracked. The observer must not
+// retain the stats value's address and must be fast — it runs on the
+// simulation goroutine. It never touches the per-event path and never
+// consumes randomness, so installing one cannot perturb any replica
+// trajectory (the package tests pin this byte-for-byte).
+func WithBatchObserver(fn func(BatchStats)) BatchOption {
+	return func(c *batchConfig) { c.observe = fn }
 }
 
 // WithBatchRates sets per-edge clock rates; len must equal g.NumEdges()
@@ -146,6 +179,7 @@ func NewBatchEngine(g *graph.Graph, kern BatchKernel, streams []*rng.RNG, opts .
 		}
 	}
 	be.invTotal = 1 / total
+	be.observe = cfg.observe
 	for rep, r := range streams {
 		if r == nil {
 			return nil, fmt.Errorf("sim: replica %d stream is nil", rep)
@@ -208,22 +242,30 @@ func (be *BatchEngine) RunEvents(n int64) {
 		target[rep] = be.reps[rep].events + n
 	}
 	for {
-		active := false
+		active := 0
+		minNow := math.Inf(1)
 		for rep := range be.reps {
 			r := &be.reps[rep]
 			if r.events >= target[rep] {
 				continue
 			}
-			active = true
+			active++
 			m := int(min(target[rep]-r.events, chunkSize))
 			picks := be.picks[:m]
 			be.fillPicks(r.r, picks)
 			be.kern.TickChunk(rep, picks)
 			r.now += r.r.GammaInt(m) * be.invTotal
 			r.events += int64(m)
+			be.chunks++
+			if r.now < minNow {
+				minNow = r.now
+			}
 		}
-		if !active {
+		if active == 0 {
 			return
+		}
+		if be.observe != nil {
+			be.observe(BatchStats{Events: be.Events(), Chunks: be.chunks, Active: active, Now: minNow})
 		}
 	}
 }
@@ -249,7 +291,8 @@ func (be *BatchEngine) RunTracked(cfg Tracked) []TrackedResult {
 		states[rep].v = be.kern.ReplicaVariance(rep)
 	}
 	for {
-		active := false
+		active := 0
+		minNow := math.Inf(1)
 		for rep := range be.reps {
 			st := &states[rep]
 			if st.done {
@@ -269,7 +312,7 @@ func (be *BatchEngine) RunTracked(cfg Tracked) []TrackedResult {
 				res[rep] = TrackedResult{LastExceed: st.lastExceed}
 				continue
 			}
-			active = true
+			active++
 			picks := be.picks[:chunkSize]
 			be.fillPicks(r.r, picks)
 			lastIdx, endVar := be.kern.TickChunkTracked(rep, picks, cfg.ExceedLevel)
@@ -277,6 +320,10 @@ func (be *BatchEngine) RunTracked(cfg Tracked) []TrackedResult {
 			d := r.r.GammaInt(chunkSize) * be.invTotal
 			r.now = start + d
 			r.events += chunkSize
+			be.chunks++
+			if r.now < minNow {
+				minNow = r.now
+			}
 			st.v = endVar
 			switch {
 			case lastIdx == chunkSize-1:
@@ -296,8 +343,14 @@ func (be *BatchEngine) RunTracked(cfg Tracked) []TrackedResult {
 				st.lastExceed = start + d*(g1/(g1+g2))
 			}
 		}
-		if !active {
+		if active == 0 {
 			return res
+		}
+		if be.observe != nil {
+			be.observe(BatchStats{Events: be.Events(), Chunks: be.chunks, Active: active, Now: minNow})
 		}
 	}
 }
+
+// Chunks returns the number of chunk-bridge draws consumed so far.
+func (be *BatchEngine) Chunks() int64 { return be.chunks }

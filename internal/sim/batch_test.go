@@ -261,3 +261,118 @@ func TestBatchEngineValidation(t *testing.T) {
 		t.Error("negative rate not rejected")
 	}
 }
+
+// An installed observer must be telemetry-only: replica trajectories stay
+// byte-identical, the meters it sees are monotone, and the final reading
+// matches the engine's own accounting.
+func TestBatchObserverInert(t *testing.T) {
+	g, x0 := batchFixture(t)
+	seeds := replicaSeeds(4)
+	const events = 3000
+
+	run := func(opts ...BatchOption) (*gossip.VanillaEnsemble, *BatchEngine) {
+		kern, err := gossip.NewVanillaEnsemble(g, x0, len(seeds))
+		if err != nil {
+			t.Fatal(err)
+		}
+		eng, err := NewBatchEngine(g, kern, streamsFor(seeds), opts...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		eng.RunEvents(events)
+		return kern, eng
+	}
+
+	plain, plainEng := run()
+	var got []BatchStats
+	observed, obsEng := run(WithBatchObserver(func(st BatchStats) {
+		got = append(got, st)
+	}))
+
+	for rep := range seeds {
+		a, b := make([]float64, g.NumNodes()), make([]float64, g.NumNodes())
+		plain.CopyInto(rep, a)
+		observed.CopyInto(rep, b)
+		for i := range a {
+			if math.Float64bits(a[i]) != math.Float64bits(b[i]) {
+				t.Fatalf("replica %d node %d diverged under observation: %v vs %v", rep, i, a[i], b[i])
+			}
+		}
+		if plainEng.ReplicaNow(rep) != obsEng.ReplicaNow(rep) {
+			t.Errorf("replica %d clock diverged under observation", rep)
+		}
+	}
+	if len(got) == 0 {
+		t.Fatal("observer never called")
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i].Events <= got[i-1].Events || got[i].Chunks <= got[i-1].Chunks {
+			t.Errorf("meter not monotone: %+v then %+v", got[i-1], got[i])
+		}
+	}
+	last := got[len(got)-1]
+	if last.Events != obsEng.Events() || last.Chunks != obsEng.Chunks() {
+		t.Errorf("final observation %+v != engine accounting (events %d, chunks %d)",
+			last, obsEng.Events(), obsEng.Chunks())
+	}
+	for _, st := range got {
+		if st.Active < 1 || st.Active > len(seeds) {
+			t.Errorf("active count %d outside [1,%d]", st.Active, len(seeds))
+		}
+		if !(st.Now > 0) {
+			t.Errorf("non-positive trailing time %v", st.Now)
+		}
+	}
+}
+
+// Same contract for the tracked loop, where occupancy decays as replicas
+// hit their stop rule.
+func TestBatchObserverInertTracked(t *testing.T) {
+	g, x0 := batchFixture(t)
+	seeds := replicaSeeds(4)
+	probe, err := gossip.NewVanillaEnsemble(g, x0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var0 := probe.ReplicaVariance(0)
+	cfg := Tracked{
+		ExceedLevel: var0 * math.Exp(-2),
+		StopLevel:   var0 * math.Exp(-2),
+		Quiet:       1,
+		MaxTime:     1e5,
+	}
+
+	run := func(opts ...BatchOption) []TrackedResult {
+		kern, err := gossip.NewVanillaEnsemble(g, x0, len(seeds))
+		if err != nil {
+			t.Fatal(err)
+		}
+		eng, err := NewBatchEngine(g, kern, streamsFor(seeds), opts...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return eng.RunTracked(cfg)
+	}
+
+	plain := run()
+	calls := 0
+	maxActive := 0
+	observed := run(WithBatchObserver(func(st BatchStats) {
+		calls++
+		if st.Active > maxActive {
+			maxActive = st.Active
+		}
+	}))
+	for rep := range plain {
+		if plain[rep] != observed[rep] {
+			t.Errorf("replica %d tracked result diverged under observation: %+v vs %+v",
+				rep, plain[rep], observed[rep])
+		}
+	}
+	if calls == 0 {
+		t.Fatal("observer never called")
+	}
+	if maxActive != len(seeds) {
+		t.Errorf("peak occupancy %d, want %d", maxActive, len(seeds))
+	}
+}

@@ -15,10 +15,14 @@
 package sweep
 
 import (
+	"context"
 	"fmt"
 	"runtime"
+	"runtime/pprof"
 	"sync"
+	"time"
 
+	"sparsecut/internal/metrics"
 	"sparsecut/internal/scenario"
 	"sparsecut/internal/stats"
 )
@@ -161,6 +165,11 @@ type Config struct {
 	// order (which is scheduling-dependent — use it for progress display
 	// only, never for results).
 	OnCell func(Cell)
+	// Metrics, when set, receives the sweep's telemetry: cells
+	// started/completed/errored counters (sharded by worker index) and a
+	// per-cell wall-time histogram (sweep.cell.wall_ns). Like OnCell it is
+	// observation only — the report is byte-identical with or without it.
+	Metrics *metrics.Registry
 }
 
 // Run expands the grid and executes every unit on the worker pool.
@@ -186,23 +195,42 @@ func Run(grid Grid, cfg Config) (*Report, error) {
 		workers = len(units)
 	}
 
+	// Nil-registry instruments are nil and every method on them no-ops, so
+	// the disabled path needs no branches here.
+	started := cfg.Metrics.Counter("sweep.cells.started")
+	completed := cfg.Metrics.Counter("sweep.cells.completed")
+	errored := cfg.Metrics.Counter("sweep.cells.errored")
+	wall := cfg.Metrics.Histogram("sweep.cell.wall_ns")
+
 	cells := make([]Cell, len(units))
 	var mu sync.Mutex
 	var wg sync.WaitGroup
 	work := make(chan int)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(w int) {
 			defer wg.Done()
 			for i := range work {
-				cells[i] = runUnit(units[i])
+				u := units[i]
+				started.Inc(w)
+				begin := time.Now()
+				// Label the unit's CPU samples by scenario so a -cpuprofile
+				// of a mixed sweep attributes time per family and algorithm.
+				pprof.Do(context.Background(), unitLabels(u), func(context.Context) {
+					cells[i] = runUnit(u)
+				})
+				wall.Observe(time.Since(begin).Nanoseconds())
+				completed.Inc(w)
+				if cells[i].Error != "" {
+					errored.Inc(w)
+				}
 				if cfg.OnCell != nil {
 					mu.Lock()
 					cfg.OnCell(cells[i])
 					mu.Unlock()
 				}
 			}
-		}()
+		}(w)
 	}
 	for i := range units {
 		work <- i
@@ -211,6 +239,20 @@ func Run(grid Grid, cfg Config) (*Report, error) {
 	wg.Wait()
 
 	return &Report{Grid: grid, Seed: root, Cells: cells}, nil
+}
+
+// unitLabels builds the pprof label set identifying a unit's scenario in
+// CPU profiles. Empty fields mean "registry default", which Resolve fills
+// in later; label them as such rather than resolving twice.
+func unitLabels(u Unit) pprof.LabelSet {
+	fam, algo := u.Spec.Graph.Family, u.Spec.Algo.Name
+	if fam == "" {
+		fam = "default"
+	}
+	if algo == "" {
+		algo = "default"
+	}
+	return pprof.Labels("sweep_family", fam, "sweep_algo", algo)
 }
 
 // runUnit resolves and estimates one cell. All errors are folded into the

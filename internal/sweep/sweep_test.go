@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"testing"
 
+	"sparsecut/internal/metrics"
 	"sparsecut/internal/scenario"
 )
 
@@ -285,5 +286,89 @@ func TestRatesAxis(t *testing.T) {
 		if c.Tav <= 0 {
 			t.Errorf("cell %s (rates=%s): Tav %v", c.Label, c.Spec.Rates, c.Tav)
 		}
+	}
+}
+
+// TestMetricsObservationOnly: a sweep with Config.Metrics set must (a)
+// produce a byte-identical report to the uninstrumented run, and (b)
+// account for every cell exactly once in the started/completed counters
+// and the wall-time histogram, with errored counting only failed cells.
+func TestMetricsObservationOnly(t *testing.T) {
+	grid := Grid{
+		Base: scenario.Spec{
+			Stop: scenario.StopSpec{Trials: 2, MaxTime: 200},
+		},
+		Families: []string{"dumbbell", "planted"},
+		Ns:       []int{12, 16},
+		Algos:    []string{"vanilla", "A"},
+	}
+	plain, err := Run(grid, Config{Workers: 4, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := metrics.NewRegistry()
+	instr, err := Run(grid, Config{Workers: 4, Seed: 11, Metrics: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var a, b bytes.Buffer
+	if err := plain.WriteJSON(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := instr.WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Error("instrumented sweep report differs from uninstrumented")
+	}
+
+	snap := reg.Snapshot()
+	want := int64(len(instr.Cells))
+	if got := snap.Counters["sweep.cells.started"]; got != want {
+		t.Errorf("started %d, want %d", got, want)
+	}
+	if got := snap.Counters["sweep.cells.completed"]; got != want {
+		t.Errorf("completed %d, want %d", got, want)
+	}
+	if got := snap.Counters["sweep.cells.errored"]; got != 0 {
+		t.Errorf("errored %d on an all-green sweep", got)
+	}
+	h := snap.Histograms["sweep.cell.wall_ns"]
+	if h.Count != want {
+		t.Errorf("wall histogram has %d samples, want %d", h.Count, want)
+	}
+	if h.Sum <= 0 {
+		t.Error("wall histogram sum not positive")
+	}
+}
+
+// A failing cell increments errored but still completes.
+func TestMetricsCountsErroredCells(t *testing.T) {
+	grid := Grid{
+		Base: scenario.Spec{
+			Stop: scenario.StopSpec{Trials: 1, MaxTime: 50},
+		},
+		// hierdumbbell needs n >= 8: the n=6 cell fails, n=16 succeeds
+		// (same fixture as TestCellErrorIsolated).
+		Families: []string{"hierdumbbell"},
+		Ns:       []int{6, 16},
+	}
+	reg := metrics.NewRegistry()
+	rep, err := Run(grid, Config{Workers: 2, Seed: 7, Metrics: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var failed int64
+	for _, c := range rep.Cells {
+		if c.Error != "" {
+			failed++
+		}
+	}
+	snap := reg.Snapshot()
+	if got := snap.Counters["sweep.cells.errored"]; got != failed {
+		t.Errorf("errored counter %d, want %d", got, failed)
+	}
+	if got := snap.Counters["sweep.cells.completed"]; got != int64(len(rep.Cells)) {
+		t.Errorf("completed counter %d, want %d", got, len(rep.Cells))
 	}
 }

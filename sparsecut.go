@@ -36,6 +36,7 @@ import (
 	"sparsecut/internal/dist"
 	"sparsecut/internal/gossip"
 	"sparsecut/internal/graph"
+	"sparsecut/internal/metrics"
 	"sparsecut/internal/report"
 	"sparsecut/internal/rng"
 	"sparsecut/internal/scenario"
@@ -328,6 +329,23 @@ type (
 	// (it additionally exposes Port).
 	TCPTransport = dist.TCPTransport
 )
+
+// / Telemetry, re-exported from internal/metrics: the dependency-free
+// counters/gauges/histograms registry the runtime layers record into.
+// Construct one with NewMetricsRegistry, hand it to ClusterConfig.Metrics
+// or SweepConfig.Metrics, and export deterministic JSON via
+// Snapshot().WriteJSON (cmd/distrun -http additionally serves it over
+// expvar). A nil registry disables telemetry at near-zero hot-path cost.
+type (
+	// MetricsRegistry names a set of instruments and renders deterministic
+	// snapshots; see internal/metrics and DESIGN.md §10.
+	MetricsRegistry = metrics.Registry
+	// MetricsSnapshot is a point-in-time export of a registry.
+	MetricsSnapshot = metrics.Snapshot
+)
+
+// NewMetricsRegistry returns an empty enabled telemetry registry.
+func NewMetricsRegistry() *MetricsRegistry { return metrics.NewRegistry() }
 
 // NewCluster builds the decentralized runtime for rule on g with initial
 // values x0. One simulated time unit lasts cfg.TimeScale of wall-clock
