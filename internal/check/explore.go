@@ -1,0 +1,188 @@
+package check
+
+import (
+	"fmt"
+
+	"sparsecut/internal/rng"
+)
+
+// Exhaustive explores every schedule of length up to opt.MaxDepth by DFS
+// with state-hash deduplication, stopping at the first invariant violation
+// or when the opt.MaxStates budget is spent (Result.Truncated). With the
+// budget untouched and no counterexample, every state reachable within the
+// configured bounds satisfies every invariant.
+func Exhaustive(spec Spec, opt Options) (*Result, error) {
+	opt = opt.withDefaults()
+	w, err := newWorld(spec, opt)
+	if err != nil {
+		return nil, err
+	}
+	e := &explorer{spec: spec, opt: opt, res: &Result{}, visited: make(map[uint64]int)}
+	e.dfs(w, 0)
+	return e.res, nil
+}
+
+type explorer struct {
+	spec Spec
+	opt  Options
+	res  *Result
+	// visited maps a state hash to the largest remaining depth it has been
+	// explored with: a revisit with no more depth to spend is a safe cut,
+	// a revisit with more depth re-explores (deeper schedules may exist
+	// below it).
+	visited map[uint64]int
+	path    []Action
+}
+
+// dfs explores from w; false aborts the whole search (violation found or
+// state budget spent).
+func (e *explorer) dfs(w *world, depth int) bool {
+	rem := e.opt.MaxDepth - depth
+	h := w.hash()
+	if prev, ok := e.visited[h]; ok && prev >= rem {
+		e.res.Deduped++
+		return true
+	}
+	e.visited[h] = rem
+	e.res.StatesExplored++
+	if depth > e.res.DeepestDepth {
+		e.res.DeepestDepth = depth
+	}
+	if e.res.StatesExplored >= e.opt.MaxStates {
+		e.res.Truncated = true
+		return false
+	}
+	if rem <= 0 {
+		return true
+	}
+	for _, a := range w.enabled() {
+		w2 := w.clone()
+		e.res.Transitions++
+		err := w2.apply(a)
+		e.path = append(e.path, a)
+		if err != nil {
+			if v, ok := err.(*Violation); ok {
+				e.res.Counterexample = newTrace(e.spec, e.opt, e.path, v)
+				e.path = e.path[:len(e.path)-1]
+				return false
+			}
+			// enabled() never yields inapplicable actions; tolerate anyway.
+			e.path = e.path[:len(e.path)-1]
+			continue
+		}
+		ok := e.dfs(w2, depth+1)
+		e.path = e.path[:len(e.path)-1]
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// RandomWalk runs `walks` independent seeded random schedules of length up
+// to opt.MaxDepth, stopping at the first violation. It scales to systems
+// whose bounded state space is too large for Exhaustive; the price is that
+// a clean result is evidence, not proof.
+func RandomWalk(spec Spec, opt Options, seed uint64, walks int) (*Result, error) {
+	opt = opt.withDefaults()
+	if walks <= 0 {
+		walks = 1
+	}
+	r := rng.New(seed)
+	res := &Result{}
+	for k := 0; k < walks; k++ {
+		w, err := newWorld(spec, opt)
+		if err != nil {
+			return nil, err
+		}
+		var path []Action
+		for depth := 0; depth < opt.MaxDepth; depth++ {
+			acts := w.enabled()
+			if len(acts) == 0 {
+				break
+			}
+			a := acts[r.Intn(len(acts))]
+			path = append(path, a)
+			res.Transitions++
+			res.StatesExplored++
+			if depth+1 > res.DeepestDepth {
+				res.DeepestDepth = depth + 1
+			}
+			if err := w.apply(a); err != nil {
+				if v, ok := err.(*Violation); ok {
+					res.Counterexample = newTrace(spec, opt, path, v)
+					return res, nil
+				}
+				return nil, err
+			}
+		}
+		res.Walks++
+	}
+	return res, nil
+}
+
+// RunSchedule drives one world by a schedule byte-string: byte i selects
+// among the actions enabled at step i (index modulo their count). The
+// schedule ends at its last byte or when no action is enabled. This is the
+// decoder the fuzz harness uses; counterexample traces re-encode into the
+// same format via EncodeSchedule to seed its corpus. Returns the actions
+// taken and the violation, if any.
+func RunSchedule(spec Spec, opt Options, schedule []byte) ([]Action, *Violation, error) {
+	opt = opt.withDefaults()
+	w, err := newWorld(spec, opt)
+	if err != nil {
+		return nil, nil, err
+	}
+	var path []Action
+	for _, b := range schedule {
+		acts := w.enabled()
+		if len(acts) == 0 {
+			break
+		}
+		a := acts[int(b)%len(acts)]
+		path = append(path, a)
+		if err := w.apply(a); err != nil {
+			if v, ok := err.(*Violation); ok {
+				return path, v, nil
+			}
+			return path, nil, err
+		}
+	}
+	return path, nil, nil
+}
+
+// EncodeSchedule re-expresses an action sequence as a schedule byte-string
+// (the inverse of RunSchedule's decoding): byte i is the index of action i
+// in the enabled-action list at that step. It fails if an action is not
+// enabled at its step under opt's budgets.
+func EncodeSchedule(spec Spec, opt Options, actions []Action) ([]byte, error) {
+	opt = opt.withDefaults()
+	w, err := newWorld(spec, opt)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]byte, 0, len(actions))
+	for i, a := range actions {
+		idx := -1
+		for j, b := range w.enabled() {
+			if a.same(b) {
+				idx = j
+				break
+			}
+		}
+		if idx < 0 {
+			return nil, fmt.Errorf("check: action %d (%s) is not enabled at its step", i, a.Op)
+		}
+		if idx > 255 {
+			return nil, fmt.Errorf("check: enabled-action index %d does not fit a schedule byte", idx)
+		}
+		out = append(out, byte(idx))
+		if err := w.apply(a); err != nil {
+			if _, ok := err.(*Violation); ok && i == len(actions)-1 {
+				break // the recorded violation, at the recorded last step
+			}
+			return nil, err
+		}
+	}
+	return out, nil
+}

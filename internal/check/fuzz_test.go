@@ -1,0 +1,93 @@
+package check
+
+import (
+	"encoding/json"
+	"testing"
+
+	"sparsecut/internal/dist"
+	"sparsecut/internal/graph"
+)
+
+// fuzzSystem is the fixed system FuzzSchedule drives: the 3-node clique
+// with the correct (unmutated) protocol and budgets looser than the
+// exhaustive tests', so the fuzzer can reach schedule shapes the bounded
+// DFS does not.
+func fuzzSystem() (Spec, Options) {
+	spec := Spec{Graph: graph.Complete(3), X0: []float64{1, 5, 0}, Rule: Vanilla()}
+	opt := Options{
+		MaxDepth:       64,
+		MaxInitiations: 5,
+		MaxDups:        3,
+		MaxResends:     3,
+		MaxCrashes:     3,
+		Drops:          true,
+		Dups:           true,
+		Crashes:        true,
+	}
+	return spec, opt
+}
+
+// FuzzSchedule fuzzes the schedule byte-string: byte i picks among the
+// actions enabled at step i. Any invariant violation is a real protocol
+// bug (no mutation is seeded here — this target found nothing only after
+// the two seed bugs MutNackRoleConfusion and MutLaxWatermarkDedup were
+// fixed). The committed corpus under testdata/fuzz/FuzzSchedule is the
+// mutation counterexamples of TestMutationsCaught re-encoded by
+// EncodeSchedule — counterexample traces double as fuzz seeds.
+func FuzzSchedule(f *testing.F) {
+	spec, opt := fuzzSystem()
+	// A plain committed exchange and a NACK/timeout path, as inline seeds.
+	f.Add([]byte{0, 0, 0, 0, 0, 0})
+	f.Add([]byte{0, 1, 2, 0, 1, 0, 0, 0, 1, 2})
+	f.Fuzz(func(t *testing.T, schedule []byte) {
+		if len(schedule) > 96 {
+			schedule = schedule[:96]
+		}
+		actions, v, err := RunSchedule(spec, opt, schedule)
+		if err != nil {
+			t.Fatalf("schedule did not run: %v", err)
+		}
+		if v != nil {
+			tr := newTrace(spec, opt, actions, v)
+			b, _ := json.MarshalIndent(tr, "", "  ")
+			t.Fatalf("invariant violation in the correct protocol: %v\ncounterexample trace:\n%s", v, b)
+		}
+	})
+}
+
+// TestFuzzSeedsFromCounterexamples regenerates the committed seed corpus'
+// content in-process: every mutation counterexample, re-encoded under the
+// fuzz target's own options, must drive the fuzz system cleanly (the bug
+// needs its mutation) while steering it down the once-buggy path. This
+// keeps the committed corpus honest without checking generated files in
+// tests.
+func TestFuzzSeedsFromCounterexamples(t *testing.T) {
+	fspec, fopt := fuzzSystem()
+	for _, mu := range []dist.Mutation{
+		dist.MutNackRollbackApplies,
+		dist.MutStaleProposalApply,
+		dist.MutCommitIgnoresSeq,
+		dist.MutNackRoleConfusion,
+		dist.MutLaxWatermarkDedup,
+	} {
+		spec := triangleSpec()
+		opt := faultOptions(12)
+		opt.Mutation = mu
+		res, err := Exhaustive(spec, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Counterexample == nil {
+			t.Fatalf("mutation %s produced no counterexample", mu)
+		}
+		// Re-encode the counterexample's schedule under the fuzz target's
+		// options (the seed-corpus encoding).
+		sched, err := EncodeSchedule(fspec, fopt, res.Counterexample.Actions)
+		if err != nil {
+			t.Fatalf("%s: counterexample does not encode under fuzz options: %v", mu, err)
+		}
+		if _, v, err := RunSchedule(fspec, fopt, sched); err != nil || v != nil {
+			t.Fatalf("%s: seed schedule must be clean on the correct protocol, got v=%v err=%v", mu, v, err)
+		}
+	}
+}

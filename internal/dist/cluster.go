@@ -25,6 +25,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -65,6 +66,27 @@ type ClusterConfig struct {
 	// nil disables telemetry at near-zero hot-path cost. Use one registry
 	// per cluster.
 	Metrics *metrics.Registry
+	// Crashes schedules fail-stop crash/recovery fault injection; the
+	// schedule is interpreted relative to the start of each Run. See
+	// CrashEvent and the crash-path notes on Machine.
+	Crashes []CrashEvent
+}
+
+// CrashEvent fail-stops one node at a simulated time. While down the node
+// loses every message addressed to it and neither initiates nor answers;
+// its value, seq counter, applied-watermarks and held proposal survive the
+// crash (stable storage), only its outstanding initiation aborts. A node
+// whose Recover time is 0 stays down until the run's drain phase, which
+// force-recovers it so every exchange still resolves and the value sum is
+// preserved exactly across any crash schedule.
+type CrashEvent struct {
+	// Node is the node to crash.
+	Node int
+	// At is the crash time in simulated time units from the run's start.
+	At float64
+	// Recover is the recovery time in simulated time units from the run's
+	// start (must exceed At), or 0 to stay down until the drain phase.
+	Recover float64
 }
 
 // Cluster runs a Rule as a real concurrent message-passing system on a
@@ -87,8 +109,18 @@ type Cluster struct {
 	// only by Run before the node goroutines start.
 	epoch uint64
 
+	// mc is the pure protocol state machine the node actors step; its
+	// Epoch field is rewritten by Run before the goroutines start.
+	mc Machine
+	// tap, when non-nil, observes every protocol event of every node (the
+	// lockstep equivalence test in machine_test.go sets it). The callback
+	// must be safe for concurrent use.
+	tap func(nodeEvent)
+
 	exchanges atomic.Int64
 	aborted   atomic.Int64
+	crashes   atomic.Int64
+	crashLost atomic.Int64
 	// awaiting and pending count outstanding initiations and held
 	// proposals; the drain phase of Run waits for both to hit zero, which
 	// guarantees every exchange has fully committed or fully aborted.
@@ -152,6 +184,12 @@ func NewCluster(g *graph.Graph, x0 []float64, rule Rule, cfg ClusterConfig) (*Cl
 			c.resendEvery = c.lockTimeout
 		}
 	}
+	c.mc = Machine{
+		G:             g,
+		Rule:          rule,
+		LockTimeoutNs: c.lockTimeout.Nanoseconds(),
+		ResendEveryNs: c.resendEvery.Nanoseconds(),
+	}
 	root := rng.New(cfg.Seed)
 	c.nodes = make([]*node, g.NumNodes())
 	for i := range c.nodes {
@@ -161,10 +199,41 @@ func NewCluster(g *graph.Graph, x0 []float64, rule Rule, cfg ClusterConfig) (*Cl
 		}
 		c.nodes[i] = newNode(i, c, root.Split(), inbox, x0[i])
 	}
+	if err := c.assignCrashes(cfg.Crashes); err != nil {
+		return nil, err
+	}
 	if cfg.Metrics != nil {
 		c.instrument(cfg.Metrics)
 	}
 	return c, nil
+}
+
+// assignCrashes validates the crash schedule and distributes each node's
+// events, sorted by crash time with non-overlapping windows.
+func (c *Cluster) assignCrashes(events []CrashEvent) error {
+	for _, ev := range events {
+		if ev.Node < 0 || ev.Node >= len(c.nodes) {
+			return fmt.Errorf("dist: crash schedule names node %d outside [0,%d)", ev.Node, len(c.nodes))
+		}
+		if !(ev.At >= 0) || math.IsInf(ev.At, 0) {
+			return fmt.Errorf("dist: crash time %v for node %d must be non-negative and finite", ev.At, ev.Node)
+		}
+		if ev.Recover != 0 && (!(ev.Recover > ev.At) || math.IsInf(ev.Recover, 0)) {
+			return fmt.Errorf("dist: recovery time %v for node %d must exceed crash time %v (or be 0 for down-until-drain)", ev.Recover, ev.Node, ev.At)
+		}
+		nd := c.nodes[ev.Node]
+		nd.crashSpec = append(nd.crashSpec, ev)
+	}
+	for _, nd := range c.nodes {
+		sort.Slice(nd.crashSpec, func(i, j int) bool { return nd.crashSpec[i].At < nd.crashSpec[j].At })
+		for i := 1; i < len(nd.crashSpec); i++ {
+			prev := nd.crashSpec[i-1]
+			if prev.Recover == 0 || nd.crashSpec[i].At < prev.Recover {
+				return fmt.Errorf("dist: overlapping crash windows for node %d", nd.id)
+			}
+		}
+	}
+	return nil
 }
 
 // Run executes the protocol for the given duration in simulated time units
@@ -174,6 +243,14 @@ func NewCluster(g *graph.Graph, x0 []float64, rule Rule, cfg ClusterConfig) (*Cl
 // — until every in-flight exchange has resolved, so the value sum is
 // preserved exactly across the run boundary. Run may be called again to
 // continue from the current values.
+//
+// Errors are typed: a Run the caller cut short returns ctx.Err()
+// (context.Canceled or context.DeadlineExceeded) after the same full
+// drain, so the cluster's values remain consistent and the cluster stays
+// usable; a transport that fails permanently mid-run surfaces as a
+// *SendError wrapping the transport's error (errors.Is(err, ErrClosed)
+// matches a transport closed underneath a running cluster). A nil return
+// means the horizon was reached and every exchange resolved.
 func (c *Cluster) Run(ctx context.Context, duration float64) error {
 	if !(duration > 0) || math.IsInf(duration, 0) {
 		return fmt.Errorf("dist: duration %v must be positive and finite", duration)
@@ -203,10 +280,10 @@ func (c *Cluster) Run(ctx context.Context, duration float64) error {
 	stopC := make(chan struct{})
 	var drainWG sync.WaitGroup
 	c.epoch++
+	c.mc.Epoch = c.epoch
+	start := time.Now()
 	for i, nd := range c.nodes {
-		nd.x = c.values[i]
-		nd.await = nil
-		nd.pend = nil
+		nd.resetForRun(c.values[i], start)
 		c.wg.Add(1)
 		drainWG.Add(1)
 		go nd.loop(drainC, stopC, &drainWG)
@@ -237,22 +314,22 @@ func (c *Cluster) Run(ctx context.Context, duration float64) error {
 	// the proposal is simply discarded. The sum stays exact even across
 	// a transport death. On a healthy shutdown this loop finds nothing.
 	for _, nd := range c.nodes {
-		if nd.pend != nil {
-			init := c.nodes[nd.pend.msg.To]
-			if init.lastApplied[nd.id] >= nd.pend.msg.Seq {
-				nd.x -= nd.pend.msg.X
+		if nd.st.Pend != nil {
+			init := c.nodes[nd.st.Pend.Msg.To]
+			if init.st.LastApplied[nd.id] >= nd.st.Pend.Msg.Seq {
+				nd.st.X -= nd.st.Pend.Msg.X
 				c.exchanges.Add(1)
-				c.met.publish(nd.id, nd.x)
+				c.met.publish(nd.id, nd.st.X)
 			}
-			nd.pend = nil
+			nd.st.Pend = nil
 		}
-		nd.await = nil
+		nd.st.Await = nil
 	}
 	c.awaiting.Store(0)
 	c.pending.Store(0)
 
 	for i, nd := range c.nodes {
-		c.values[i] = nd.x
+		c.values[i] = nd.st.X
 	}
 	if err := ctx.Err(); err != nil {
 		return err // the caller cut the run short; state is still consistent
@@ -262,10 +339,25 @@ func (c *Cluster) Run(ctx context.Context, duration float64) error {
 	return c.sendErr
 }
 
+// SendError is the typed error Run returns when the transport failed
+// permanently mid-run (the run is cut short, in-flight exchanges are
+// settled in-process, and the value sum stays exact). It unwraps to the
+// transport's own error, so errors.Is(err, ErrClosed) matches a transport
+// closed underneath a running cluster.
+type SendError struct {
+	Err error
+}
+
+// Error implements error.
+func (e *SendError) Error() string { return "dist: transport send failed: " + e.Err.Error() }
+
+// Unwrap exposes the transport's underlying error to errors.Is/As.
+func (e *SendError) Unwrap() error { return e.Err }
+
 func (c *Cluster) noteSendErr(err error) {
 	c.errMu.Lock()
 	if c.sendErr == nil {
-		c.sendErr = err
+		c.sendErr = &SendError{Err: err}
 		if c.runCancel != nil {
 			c.runCancel()
 		}
@@ -323,7 +415,15 @@ func (c *Cluster) Variance() float64 {
 func (c *Cluster) Exchanges() int64 { return c.exchanges.Load() }
 
 // Aborted returns the number of aborted initiation attempts: NACKed by a
-// busy or draining peer, or timed out waiting for a proposal (lost LOCK,
-// or a proposal so late that the initiator gave up and refused it — such
-// an exchange commits nowhere).
+// busy or draining peer, timed out waiting for a proposal (lost LOCK, or
+// a proposal so late that the initiator gave up and refused it — such an
+// exchange commits nowhere), or dropped by the initiator's own crash.
 func (c *Cluster) Aborted() int64 { return c.aborted.Load() }
+
+// Crashes returns the number of crash events fired by the configured
+// crash schedule so far.
+func (c *Cluster) Crashes() int64 { return c.crashes.Load() }
+
+// CrashLost returns the number of messages lost because their destination
+// node was down when they were delivered.
+func (c *Cluster) CrashLost() int64 { return c.crashLost.Load() }

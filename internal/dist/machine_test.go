@@ -1,0 +1,299 @@
+package dist
+
+import (
+	"context"
+	"math"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"sparsecut/internal/graph"
+)
+
+// TestLockstepMachineEquivalence is the divergence test that licenses both
+// drivers of the protocol: the goroutine runtime records every protocol
+// event it feeds the pure machine (via the cluster tap), and replaying
+// that event stream through fresh NodeStates must reproduce byte-identical
+// StepOuts and exactly the runtime's final values. Any state the actor
+// wrapper mutated outside the machine, or any hidden input the machine
+// read, would diverge here.
+func TestLockstepMachineEquivalence(t *testing.T) {
+	for _, tc := range []struct {
+		name    string
+		crashes []CrashEvent
+	}{
+		{"healthy", nil},
+		{"with crash schedule", []CrashEvent{{Node: 0, At: 2, Recover: 5}, {Node: 7, At: 1}}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			g, _, x0 := dumbbellCase(t)
+			// Vanilla rule: stateless, so the replay is insensitive to the
+			// order in which concurrent nodes ticked the shared rule.
+			cl, err := NewCluster(g, x0, NewVanillaRule(), ClusterConfig{
+				TimeScale: 4 * time.Millisecond, Seed: 11, Crashes: tc.crashes,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			var mu sync.Mutex
+			var events []nodeEvent
+			cl.tap = func(ev nodeEvent) {
+				mu.Lock()
+				events = append(events, ev)
+				mu.Unlock()
+			}
+			if err := cl.Run(context.Background(), 10); err != nil {
+				t.Fatal(err)
+			}
+			if cl.Exchanges() == 0 {
+				t.Fatal("no exchanges committed; lockstep test needs traffic")
+			}
+
+			// Replay: fresh states, same machine parameters, recorded inputs.
+			mc := Machine{
+				G:             g,
+				Rule:          NewVanillaRule(),
+				Epoch:         cl.epoch,
+				LockTimeoutNs: cl.lockTimeout.Nanoseconds(),
+				ResendEveryNs: cl.resendEvery.Nanoseconds(),
+			}
+			states := make([]*NodeState, g.NumNodes())
+			for i := range states {
+				states[i] = NewNodeState(i, x0[i])
+			}
+			for k, ev := range events {
+				st := states[ev.node]
+				var out StepOut
+				switch ev.kind {
+				case stepDeliver:
+					out = mc.Deliver(st, ev.msg, ev.nowNs, ev.draining)
+				case stepInitiate:
+					out = mc.Initiate(st, ev.he, ev.nowNs)
+				case stepTimeout:
+					out = mc.TimeoutAwait(st)
+				case stepResend:
+					out = mc.Resend(st, ev.nowNs)
+				case stepCrash:
+					out = mc.Crash(st)
+				case stepRecover:
+					out = mc.Recover(st, ev.nowNs)
+				}
+				if !reflect.DeepEqual(out, ev.out) {
+					t.Fatalf("event %d (node %d, kind %d): replayed StepOut %+v diverged from live %+v",
+						k, ev.node, ev.kind, out, ev.out)
+				}
+			}
+			// The settle loop only acts on a dead transport; on this healthy
+			// run the replayed machine values must equal Values() exactly.
+			got := cl.Values()
+			for i, st := range states {
+				if st.X != got[i] {
+					t.Errorf("node %d: replayed value %v != runtime value %v", i, st.X, got[i])
+				}
+			}
+			t.Logf("replayed %d events across %d nodes, %d exchanges", len(events), g.NumNodes(), cl.Exchanges())
+		})
+	}
+}
+
+// TestCrashRecoverySumConserved injects a hostile crash schedule on top of
+// a lossy transport and asserts the protocol's core promise: the value sum
+// survives exactly (stable storage keeps held proposals across crashes;
+// the drain phase force-recovers nodes still down).
+func TestCrashRecoverySumConserved(t *testing.T) {
+	g, _, x0 := dumbbellCase(t)
+	crashes := []CrashEvent{
+		{Node: 0, At: 1, Recover: 4},
+		{Node: 3, At: 2, Recover: 6},
+		{Node: 6, At: 0.5, Recover: 3},
+		{Node: 9, At: 3}, // down until drain
+		{Node: 0, At: 7, Recover: 9},
+	}
+	cl, err := NewCluster(g, x0, NewVanillaRule(), ClusterConfig{
+		TimeScale: 4 * time.Millisecond, Seed: 3, Crashes: crashes,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.Run(context.Background(), 12); err != nil {
+		t.Fatal(err)
+	}
+	if cl.Exchanges() == 0 {
+		t.Fatal("no exchanges committed under the crash schedule")
+	}
+	if got, want := cl.Crashes(), int64(len(crashes)); got != want {
+		t.Errorf("Crashes() = %d, want %d (every scheduled window fires)", got, want)
+	}
+	if drift := math.Abs(sum(cl.Values()) - sum(x0)); drift > 1e-9 {
+		t.Errorf("sum drifted by %g across %d crashes", drift, cl.Crashes())
+	}
+	// The schedule is per-Run: a second run re-fires it and stays exact.
+	if err := cl.Run(context.Background(), 12); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := cl.Crashes(), int64(2*len(crashes)); got != want {
+		t.Errorf("Crashes() after second run = %d, want %d", got, want)
+	}
+	if drift := math.Abs(sum(cl.Values()) - sum(x0)); drift > 1e-9 {
+		t.Errorf("sum drifted by %g after the second crashy run", drift)
+	}
+}
+
+func TestCrashScheduleValidation(t *testing.T) {
+	g, _, x0 := dumbbellCase(t)
+	cases := []struct {
+		name string
+		ev   []CrashEvent
+	}{
+		{"node out of range", []CrashEvent{{Node: 99, At: 1}}},
+		{"negative node", []CrashEvent{{Node: -1, At: 1}}},
+		{"negative time", []CrashEvent{{Node: 0, At: -1}}},
+		{"NaN time", []CrashEvent{{Node: 0, At: math.NaN()}}},
+		{"recover before crash", []CrashEvent{{Node: 0, At: 2, Recover: 1}}},
+		{"overlapping windows", []CrashEvent{{Node: 0, At: 1, Recover: 5}, {Node: 0, At: 3, Recover: 7}}},
+		{"second window after down-until-drain", []CrashEvent{{Node: 0, At: 1}, {Node: 0, At: 3, Recover: 4}}},
+	}
+	for _, c := range cases {
+		if _, err := NewCluster(g, x0, NewVanillaRule(), ClusterConfig{Crashes: c.ev}); err == nil {
+			t.Errorf("%s: no error", c.name)
+		}
+	}
+}
+
+// The remaining tests drive the machine directly — single-threaded, no
+// transport, virtual time — exactly the way the model checker does.
+
+func testMachine(t *testing.T) (*Machine, []*NodeState) {
+	t.Helper()
+	g, err := graph.NewBuilder(3).AddEdge(0, 1).AddEdge(1, 2).AddEdge(0, 2).Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	mc := &Machine{G: g, Rule: NewVanillaRule(), Epoch: 1, LockTimeoutNs: 100, ResendEveryNs: 40}
+	sts := []*NodeState{NewNodeState(0, 1), NewNodeState(1, 5), NewNodeState(2, 0)}
+	return mc, sts
+}
+
+func halfEdgeTo(t *testing.T, mc *Machine, from, to int) graph.HalfEdge {
+	t.Helper()
+	for _, he := range mc.G.Neighbors(graph.NodeID(from)) {
+		if int(he.Peer) == to {
+			return he
+		}
+	}
+	t.Fatalf("no edge %d-%d", from, to)
+	return graph.HalfEdge{}
+}
+
+func TestMachineCommitFlow(t *testing.T) {
+	mc, sts := testMachine(t)
+	a, b := sts[0], sts[1]
+
+	out := mc.Initiate(a, halfEdgeTo(t, mc, 0, 1), 10)
+	if !out.Proposed || len(out.Send) != 1 || out.Send[0].Kind != MsgLock {
+		t.Fatalf("initiate: %+v", out)
+	}
+	lock := out.Send[0]
+	if lock.Epoch != 1 || lock.X != 1 || a.Await == nil || a.Await.DeadlineNs != 110 {
+		t.Fatalf("lock %+v await %+v", lock, a.Await)
+	}
+
+	out = mc.Deliver(b, lock, 20, false)
+	if !out.PendCreated || len(out.Send) != 1 || out.Send[0].Kind != MsgPropose {
+		t.Fatalf("lock delivery: %+v", out)
+	}
+	prop := out.Send[0]
+	if prop.X != 2 { // vanilla delta (5-1)/2
+		t.Errorf("proposed delta %g, want 2", prop.X)
+	}
+	if b.Pend == nil || b.Pend.ResendNs != 60 {
+		t.Fatalf("pend %+v", b.Pend)
+	}
+
+	out = mc.Deliver(a, prop, 30, false)
+	if !out.Applied || out.LatencyNs != 20 || len(out.Send) != 1 || out.Send[0].Kind != MsgCommit {
+		t.Fatalf("propose delivery: %+v", out)
+	}
+	if a.X != 3 || a.Await != nil || a.LastApplied[1] != 1 {
+		t.Fatalf("initiator state after apply: %+v", a)
+	}
+
+	out = mc.Deliver(b, out.Send[0], 40, false)
+	if !out.Committed || b.X != 3 || b.Pend != nil {
+		t.Fatalf("commit delivery: %+v, responder %+v", out, b)
+	}
+	if s := a.X + b.X + sts[2].X; s != 6 {
+		t.Errorf("sum %g, want 6", s)
+	}
+}
+
+func TestMachineAbortAndDuplicatePaths(t *testing.T) {
+	mc, sts := testMachine(t)
+	a, b := sts[0], sts[1]
+
+	// Busy responder NACKs; draining responder NACKs.
+	lock := mc.Initiate(a, halfEdgeTo(t, mc, 0, 1), 0).Send[0]
+	mc.Deliver(b, lock, 0, false)
+	lock2 := mc.Initiate(sts[2], halfEdgeTo(t, mc, 2, 1), 0).Send[0]
+	if out := mc.Deliver(b, lock2, 0, false); len(out.Send) != 1 || out.Send[0].Kind != MsgNack {
+		t.Fatalf("busy responder: %+v", out)
+	}
+
+	// Timeout aborts the initiation; the late proposal is then refused and
+	// the responder rolls back with no value change anywhere.
+	if out := mc.TimeoutAwait(a); !out.Aborted || a.Await != nil {
+		t.Fatalf("timeout: %+v", out)
+	}
+	prop := b.Pend.Msg
+	out := mc.Deliver(a, prop, 0, false)
+	if out.Applied || len(out.Send) != 1 || out.Send[0].Kind != MsgNack {
+		t.Fatalf("stale proposal: %+v", out)
+	}
+	if out := mc.Deliver(b, out.Send[0], 0, false); !out.PendDropped || b.Pend != nil || b.X != 5 {
+		t.Fatalf("rollback: %+v responder %+v", out, b)
+	}
+
+	// Duplicate proposal after a successful apply is re-committed without
+	// reapplying.
+	lock = mc.Initiate(a, halfEdgeTo(t, mc, 0, 1), 0).Send[0]
+	prop = mc.Deliver(b, lock, 0, false).Send[0]
+	mc.Deliver(a, prop, 0, false)
+	xa := a.X
+	out = mc.Deliver(a, prop, 0, false) // retransmitted duplicate
+	if a.X != xa || len(out.Send) != 1 || out.Send[0].Kind != MsgCommit || out.Applied {
+		t.Fatalf("duplicate proposal: %+v", out)
+	}
+
+	// Stale-epoch messages are dropped outright.
+	stale := lock
+	stale.Epoch = 99
+	if out := mc.Deliver(b, stale, 0, false); len(out.Send) != 0 || out.PendCreated {
+		t.Fatalf("stale epoch: %+v", out)
+	}
+}
+
+func TestMachineCrashRecoverSemantics(t *testing.T) {
+	mc, sts := testMachine(t)
+	a, b := sts[0], sts[1]
+
+	// Crash aborts a volatile initiation.
+	mc.Initiate(a, halfEdgeTo(t, mc, 0, 1), 0)
+	if out := mc.Crash(a); !out.Aborted || a.Await != nil {
+		t.Fatalf("crash with await: %+v", out)
+	}
+
+	// A held proposal survives a crash and retransmits on recovery.
+	lock := mc.Initiate(a, halfEdgeTo(t, mc, 0, 1), 0).Send[0]
+	mc.Deliver(b, lock, 0, false)
+	if out := mc.Crash(b); out.Aborted || b.Pend == nil {
+		t.Fatalf("crash with pend: %+v state %+v", out, b)
+	}
+	mc.Recover(b, 500)
+	if b.Pend.ResendNs != 500 {
+		t.Fatalf("recovery did not make the held proposal due: %+v", b.Pend)
+	}
+	if out := mc.Resend(b, 500); len(out.Send) != 1 || out.Send[0].Kind != MsgPropose {
+		t.Fatalf("post-recovery resend: %+v", out)
+	}
+}

@@ -51,6 +51,8 @@ func (c *Cluster) instrument(reg *metrics.Registry) {
 	c.met.proposed = reg.Counter("dist.exchange.proposed")
 	reg.CounterFunc("dist.exchange.committed", c.Exchanges)
 	reg.CounterFunc("dist.exchange.aborted", c.Aborted)
+	reg.CounterFunc("dist.node.crashes", c.Crashes)
+	reg.CounterFunc("dist.node.crash_lost", c.CrashLost)
 	for _, k := range []MsgKind{MsgLock, MsgPropose, MsgNack, MsgCommit} {
 		c.met.sent[k] = reg.Counter("dist.msg.sent." + strings.ToLower(k.String()))
 	}

@@ -130,6 +130,53 @@ func TestInstrumentedLossyRun(t *testing.T) {
 	}
 }
 
+// TestConservationUnderCrashes is the ledger check with fail-stop faults in
+// the mix: with a crash schedule injected, every initiation must still be
+// accounted for at quiescence — proposed == committed + aborted — because
+// the drain force-recovers downed nodes and settles every in-flight
+// exchange (a crashed initiator's outstanding proposal counts as an
+// abort). The value sum stays exact for the same reason.
+func TestConservationUnderCrashes(t *testing.T) {
+	g, _, x0 := dumbbellCase(t)
+	reg := metrics.NewRegistry()
+	cl, err := NewCluster(g, x0, NewVanillaRule(), ClusterConfig{
+		TimeScale: 4 * time.Millisecond, Seed: 11, Metrics: reg,
+		Crashes: []CrashEvent{
+			{Node: 0, At: 1, Recover: 3},
+			{Node: 7, At: 2, Recover: 5},
+			{Node: 3, At: 4}, // down until the drain force-recovers it
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.Run(context.Background(), 8); err != nil {
+		t.Fatal(err)
+	}
+	if cl.Crashes() != 3 {
+		t.Fatalf("crash schedule fired %d times, want 3", cl.Crashes())
+	}
+	if cl.Exchanges() == 0 {
+		t.Fatal("no exchanges committed around the crashes")
+	}
+	snap := reg.Snapshot()
+	if snap.Counters["dist.node.crashes"] != 3 {
+		t.Errorf("crash counter %d, want 3", snap.Counters["dist.node.crashes"])
+	}
+	p := snap.Counters["dist.exchange.proposed"]
+	c := snap.Counters["dist.exchange.committed"]
+	a := snap.Counters["dist.exchange.aborted"]
+	if p != c+a {
+		t.Errorf("ledger broken under crashes: proposed %d != committed %d + aborted %d", p, c, a)
+	}
+	if p == 0 {
+		t.Error("no initiations proposed")
+	}
+	if drift := math.Abs(sum(cl.Values()) - sum(x0)); drift > 1e-9 {
+		t.Errorf("sum drifted by %g across a crash-faulted run", drift)
+	}
+}
+
 // TestInstrumentedTCPBytes checks the TCP transport's wire-byte counters
 // flow into the registry.
 func TestInstrumentedTCPBytes(t *testing.T) {

@@ -8,49 +8,17 @@ import (
 	"sparsecut/internal/rng"
 )
 
-// node is one actor of the runtime. It owns its value outright — no other
-// goroutine ever reads or writes it while the cluster runs — and
+// node is one actor of the runtime. It owns its protocol state outright —
+// no other goroutine ever reads or writes it while the cluster runs — and
 // communicates exclusively through the transport.
 //
-// # Exchange protocol (lock / propose / commit)
-//
-// A node initiates an exchange when its private Poisson clock fires while
-// it is unlocked:
-//
-//	initiator                         responder
-//	---------                         ---------
-//	lock self
-//	LOCK(seq, edge, x)  ───────────▶  busy or draining? ──▶ NACK(seq)
-//	                                  else: lock self,
-//	                                  d := rule.Delta(edge, x, y)
-//	              ◀───────────────    PROPOSE(seq, d)   (held, retransmitted)
-//	x += d (once), unlock
-//	COMMIT(seq)         ───────────▶  y -= d, unlock
-//
-// Abort paths leave no state change anywhere: a busy responder NACKs the
-// LOCK; a lock timeout releases the initiator; and a PROPOSE that arrives
-// after its initiator already timed out is answered with a NACK, on which
-// the responder rolls back its (uncommitted) proposal and unlocks. The
-// initiator therefore only ever applies a delta for its *current*
-// exchange, so a committed exchange always uses both endpoints' current
-// values — there is no stale-value commit even under arbitrary delays.
-//
-// Loss paths: a lost LOCK times out into a clean abort; a lost PROPOSE or
-// COMMIT is covered by the responder retransmitting the proposal on a
-// lease timer until it is answered — the initiator deduplicates by a
-// per-responder seq watermark and re-answers COMMIT for proposals it
-// already applied. Because the initiator applies +d exactly once and the
-// responder applies the exact negation exactly once (it is locked from
-// proposal to resolution, so d stays valid), a committed exchange changes
-// the value sum only by the two float roundings of x±d (~1 ulp each) no
-// matter what the transport drops, delays or reorders; the dist tests
-// bound the accumulated drift below 1e-9. The only transient is between the initiator's apply
-// and the responder's: the drain phase at the end of every run resolves
-// all held proposals before the run returns.
-//
-// An exchange whose proposal lost the race against the initiator's
-// timeout is counted as aborted by the initiator and never committed by
-// the responder; Exchanges counts responder-side commits.
+// The protocol itself lives in machine.go as a pure state machine; the
+// actor owns only what the protocol does not: the Poisson clock and its
+// RNG, the wall-clock timer plumbing, the crash schedule, and the routing
+// of StepOut effects into the cluster's counters and the transport. The
+// lockstep test in machine_test.go proves this wrapper adds no hidden
+// state: replaying the actor's recorded event stream through fresh
+// NodeStates reproduces its exact outputs and final values.
 //
 // # Timing model
 //
@@ -60,6 +28,16 @@ import (
 // deg(u)/2·1/deg(u) + deg(v)/2·1/deg(v) = 1 — exactly the rate-1
 // independent edge clocks of internal/sim, so simulator horizons and
 // runtime durations are directly comparable.
+//
+// # Crash schedule
+//
+// ClusterConfig.Crashes assigns each node fail-stop windows relative to
+// the run's start. While down the node reads and discards its mailbox
+// (a message to a dead node is lost) and fires no timers; recovery
+// re-arms the clock and retransmits any held proposal (see
+// Machine.Crash/Recover for what state survives). A node still down when
+// the drain phase begins is force-recovered so every exchange resolves
+// before Run returns.
 type node struct {
 	id    int
 	cl    *Cluster
@@ -67,54 +45,75 @@ type node struct {
 	inbox <-chan Message
 	rate  float64 // initiation rate in simulated-time units: deg/2
 
-	x   float64
-	seq uint64
-	// await is the outstanding initiation, if any; pend the held
-	// (uncommitted) proposal awaiting its commit or abort, if any. The
-	// node is locked while either is non-nil (it NACKs incoming LOCKs and
-	// skips its own clock fires).
-	await *awaitState
-	pend  *pendState
-	// lastApplied[r] is the highest seq whose proposal from responder r
-	// has been applied, so retransmitted duplicates are answered with a
-	// fresh COMMIT without reapplying. A per-responder watermark
-	// suffices: a responder holds its lock until its proposal is
-	// resolved, so it proposes to this node serially and a proposal with
-	// seq at or below the watermark is always a duplicate of one already
-	// applied. Memory is O(degree) per node.
-	lastApplied map[int]uint64
-	nextInit    time.Time
+	st       NodeState
+	nextInit time.Time
+
+	// crashSpec is this node's share of ClusterConfig.Crashes, sorted by
+	// At; wins is the wall-clock rendering rebuilt at each Run start.
+	crashSpec []CrashEvent
+	wins      []crashWindow
+	winIdx    int
+	crashed   bool
+	recoverAt time.Time // zero while crashed = down until drain
 }
 
-type awaitState struct {
-	seq uint64
-	// peer is the responder this initiation locked toward. Replies are
-	// matched on (peer, seq), not seq alone: seq counters are per-node
-	// namespaces, so a late duplicate NACK from an old exchange (carrying
-	// the *other* node's seq) could otherwise collide with this node's
-	// own counter and abort an unrelated healthy exchange.
-	peer     int
-	deadline time.Time
-	// started is when the initiation's LOCK went out; the telemetry
-	// latency histogram measures LOCK-sent → PROPOSE-applied from it.
-	started time.Time
+type crashWindow struct {
+	at    time.Time
+	until time.Time // zero = until drain
 }
 
-type pendState struct {
-	msg    Message // the PROPOSE to retransmit; msg.X is the held delta
-	resend time.Time
+// stepKind discriminates the protocol events the actor feeds the machine;
+// the lockstep tap records them for replay.
+type stepKind uint8
+
+const (
+	stepDeliver stepKind = iota + 1
+	stepInitiate
+	stepTimeout
+	stepResend
+	stepCrash
+	stepRecover
+)
+
+// nodeEvent is one recorded protocol event (lockstep test plumbing; see
+// Cluster.tap).
+type nodeEvent struct {
+	node     int
+	kind     stepKind
+	msg      Message // stepDeliver
+	he       graph.HalfEdge
+	nowNs    int64
+	draining bool
+	out      StepOut
 }
 
 func newNode(id int, cl *Cluster, r *rng.RNG, inbox <-chan Message, x0 float64) *node {
 	deg := cl.g.Degree(graph.NodeID(id))
 	return &node{
-		id:          id,
-		cl:          cl,
-		r:           r,
-		inbox:       inbox,
-		rate:        float64(deg) / 2,
-		x:           x0,
-		lastApplied: make(map[int]uint64),
+		id:    id,
+		cl:    cl,
+		r:     r,
+		inbox: inbox,
+		rate:  float64(deg) / 2,
+		st:    *NewNodeState(id, x0),
+	}
+}
+
+// resetForRun reinstalls the run's initial value and crash schedule.
+// Called by Run before the node goroutines start.
+func (n *node) resetForRun(x0 float64, start time.Time) {
+	n.st.X = x0
+	n.st.Await = nil
+	n.st.Pend = nil
+	n.crashed = false
+	n.winIdx = 0
+	n.wins = n.wins[:0]
+	for _, ev := range n.crashSpec {
+		w := crashWindow{at: start.Add(time.Duration(ev.At * float64(n.cl.cfg.TimeScale)))}
+		if ev.Recover > 0 {
+			w.until = start.Add(time.Duration(ev.Recover * float64(n.cl.cfg.TimeScale)))
+		}
+		n.wins = append(n.wins, w)
 	}
 }
 
@@ -152,9 +151,20 @@ func (n *node) loop(drainC, stopC <-chan struct{}, drainWG *sync.WaitGroup) {
 		case <-drainC:
 			draining = true
 			drainC = nil
+			// Remaining crash windows are cancelled and a down node is
+			// force-recovered: the drain phase must be able to resolve
+			// every held proposal, which needs all nodes answering.
+			n.winIdx = len(n.wins)
+			if n.crashed {
+				n.recover(time.Now())
+			}
 			drainWG.Done()
 		case m := <-n.inbox:
-			n.handle(m, draining)
+			if n.crashed {
+				n.cl.crashLost.Add(1)
+				continue
+			}
+			n.step(stepDeliver, m, graph.HalfEdge{}, time.Now(), draining)
 		case <-timerC:
 			n.onTimer(draining)
 		}
@@ -170,14 +180,24 @@ func (n *node) nextDeadline(draining bool) (time.Time, bool) {
 			t, ok = d, true
 		}
 	}
+	if n.crashed {
+		// A dead node has exactly one deadline: its recovery, if scheduled.
+		if !n.recoverAt.IsZero() {
+			add(n.recoverAt)
+		}
+		return t, ok
+	}
+	if n.winIdx < len(n.wins) {
+		add(n.wins[n.winIdx].at)
+	}
 	if !draining && n.rate > 0 {
 		add(n.nextInit)
 	}
-	if n.await != nil {
-		add(n.await.deadline)
+	if n.st.Await != nil {
+		add(time.Unix(0, n.st.Await.DeadlineNs))
 	}
-	if n.pend != nil {
-		add(n.pend.resend)
+	if n.st.Pend != nil {
+		add(time.Unix(0, n.st.Pend.ResendNs))
 	}
 	return t, ok
 }
@@ -185,21 +205,27 @@ func (n *node) nextDeadline(draining bool) (time.Time, bool) {
 // onTimer services whichever deadlines have passed.
 func (n *node) onTimer(draining bool) {
 	now := time.Now()
-	if n.await != nil && !now.Before(n.await.deadline) {
-		// The LOCK or its PROPOSE was lost (or the peer is saturated):
-		// give up the initiation. A proposal that arrives after this point
-		// is refused, so the responder rolls back and nothing commits.
-		n.await = nil
-		n.cl.awaiting.Add(-1)
-		n.cl.aborted.Add(1)
+	if n.crashed {
+		if !n.recoverAt.IsZero() && !now.Before(n.recoverAt) {
+			n.recover(now)
+		}
+		return
 	}
-	if n.pend != nil && !now.Before(n.pend.resend) {
-		n.send(n.pend.msg)
-		n.pend.resend = now.Add(n.cl.resendEvery)
+	if n.winIdx < len(n.wins) && !now.Before(n.wins[n.winIdx].at) {
+		n.crash(now)
+		return
+	}
+	nowNs := now.UnixNano()
+	if n.st.Await != nil && nowNs >= n.st.Await.DeadlineNs {
+		n.step(stepTimeout, Message{}, graph.HalfEdge{}, now, draining)
+	}
+	if n.st.Pend != nil && nowNs >= n.st.Pend.ResendNs {
+		n.step(stepResend, Message{}, graph.HalfEdge{}, now, draining)
 	}
 	if !draining && n.rate > 0 && !now.Before(n.nextInit) {
-		if n.await == nil && n.pend == nil {
-			n.initiate(now)
+		if !n.st.Locked() {
+			adj := n.cl.g.Neighbors(graph.NodeID(n.id))
+			n.step(stepInitiate, Message{}, adj[n.r.Intn(len(adj))], now, draining)
 		}
 		// A fire while locked is simply skipped, like a simulator tick on
 		// a busy pair; the clock always keeps running.
@@ -207,94 +233,84 @@ func (n *node) onTimer(draining bool) {
 	}
 }
 
-// initiate starts an exchange over a uniformly random incident edge.
-func (n *node) initiate(now time.Time) {
-	adj := n.cl.g.Neighbors(graph.NodeID(n.id))
-	he := adj[n.r.Intn(len(adj))]
-	n.seq++
-	n.await = &awaitState{seq: n.seq, peer: int(he.Peer), deadline: now.Add(n.cl.lockTimeout), started: now}
-	n.cl.awaiting.Add(1)
-	n.cl.met.proposed.Inc(n.id)
-	n.send(Message{Kind: MsgLock, From: n.id, To: int(he.Peer), Seq: n.seq, Edge: he.Edge, X: n.x})
+// crash enters the current crash window.
+func (n *node) crash(now time.Time) {
+	n.crashed = true
+	n.recoverAt = n.wins[n.winIdx].until
+	n.winIdx++
+	n.cl.crashes.Add(1)
+	n.step(stepCrash, Message{}, graph.HalfEdge{}, now, false)
 }
 
-// handle processes one incoming message.
-func (n *node) handle(m Message, draining bool) {
-	if m.Epoch != n.cl.epoch {
-		// A leftover from a previous Run, stranded in the mailbox across
-		// the run boundary (see Message.Epoch). Every previous-run
-		// exchange is fully resolved by the time a run returns, so the
-		// message is stale by construction.
-		return
+// recover leaves the crash window and re-arms the clock.
+func (n *node) recover(now time.Time) {
+	n.crashed = false
+	n.recoverAt = time.Time{}
+	n.step(stepRecover, Message{}, graph.HalfEdge{}, now, false)
+	n.scheduleNext(now)
+}
+
+// step feeds one protocol event to the pure machine and routes its effects
+// into the cluster's accounting and the transport.
+func (n *node) step(kind stepKind, m Message, he graph.HalfEdge, now time.Time, draining bool) {
+	nowNs := now.UnixNano()
+	var out StepOut
+	switch kind {
+	case stepDeliver:
+		out = n.cl.mc.Deliver(&n.st, m, nowNs, draining)
+	case stepInitiate:
+		out = n.cl.mc.Initiate(&n.st, he, nowNs)
+	case stepTimeout:
+		out = n.cl.mc.TimeoutAwait(&n.st)
+	case stepResend:
+		out = n.cl.mc.Resend(&n.st, nowNs)
+	case stepCrash:
+		out = n.cl.mc.Crash(&n.st)
+	case stepRecover:
+		out = n.cl.mc.Recover(&n.st, nowNs)
 	}
-	switch m.Kind {
-	case MsgLock:
-		if n.await != nil || n.pend != nil || draining {
-			n.send(Message{Kind: MsgNack, From: n.id, To: m.From, Seq: m.Seq})
-			return
-		}
-		// Propose: compute the initiator's delta and hold it, locked,
-		// until the initiator commits or aborts. Nothing is applied yet,
-		// so a NACK rolls back to exactly the pre-LOCK state. Note the
-		// rule's tick (including the sparse-cut epoch counter) happens
-		// here; a subsequently NACKed proposal has still consumed a tick,
-		// like a simulator tick whose update is the identity.
-		d := n.cl.rule.Delta(m.Edge, graph.NodeID(m.From), m.X, n.x)
-		prop := Message{Kind: MsgPropose, From: n.id, To: m.From, Seq: m.Seq, Edge: m.Edge, X: d}
-		n.pend = &pendState{msg: prop, resend: time.Now().Add(n.cl.resendEvery)}
+	if tap := n.cl.tap; tap != nil {
+		tap(nodeEvent{node: n.id, kind: kind, msg: m, he: he, nowNs: nowNs, draining: draining, out: out})
+	}
+	n.applyOut(out)
+}
+
+// applyOut folds a StepOut into the cluster's counters and telemetry and
+// hands its messages to the transport.
+func (n *node) applyOut(out StepOut) {
+	if out.Proposed {
+		n.cl.awaiting.Add(1)
+		n.cl.met.proposed.Inc(n.id)
+	}
+	if out.PendCreated {
 		n.cl.pending.Add(1)
-		n.send(prop)
-
-	case MsgPropose:
-		switch {
-		case n.await != nil && n.await.seq == m.Seq && n.await.peer == m.From:
-			// Our current exchange: apply our half and commit.
-			n.lastApplied[m.From] = m.Seq
-			n.x += m.X
-			if h := n.cl.met.latency; h != nil {
-				h.Observe(time.Since(n.await.started).Nanoseconds())
-			}
-			n.await = nil
-			n.cl.awaiting.Add(-1)
-			n.cl.met.publish(n.id, n.x)
-			n.send(Message{Kind: MsgCommit, From: n.id, To: m.From, Seq: m.Seq})
-		case m.Seq <= n.lastApplied[m.From]:
-			// Duplicate of a proposal we already applied (our COMMIT was
-			// lost): re-commit without reapplying.
-			n.send(Message{Kind: MsgCommit, From: n.id, To: m.From, Seq: m.Seq})
-		default:
-			// A proposal for an exchange we already gave up on: refuse,
-			// so the responder rolls back. This is what guarantees a
-			// committed exchange never uses a stale initiator value.
-			n.send(Message{Kind: MsgNack, From: n.id, To: m.From, Seq: m.Seq})
+	}
+	if out.Applied || out.Aborted {
+		n.cl.awaiting.Add(-1)
+	}
+	if out.Aborted {
+		n.cl.aborted.Add(1)
+	}
+	if out.Committed || out.PendDropped {
+		n.cl.pending.Add(-1)
+	}
+	if out.Committed {
+		n.cl.exchanges.Add(1)
+	}
+	if out.Applied || out.Committed {
+		n.cl.met.publish(n.id, n.st.X)
+	}
+	if out.Applied && out.LatencyNs >= 0 {
+		if h := n.cl.met.latency; h != nil {
+			h.Observe(out.LatencyNs)
 		}
-
-	case MsgCommit:
-		if n.pend != nil && n.pend.msg.Seq == m.Seq && n.pend.msg.To == m.From {
-			n.x -= n.pend.msg.X
-			n.pend = nil
-			n.cl.pending.Add(-1)
-			n.cl.exchanges.Add(1)
-			n.cl.met.publish(n.id, n.x)
-		}
-
-	case MsgNack:
-		if n.await != nil && n.await.seq == m.Seq && n.await.peer == m.From {
-			n.await = nil
-			n.cl.awaiting.Add(-1)
-			n.cl.aborted.Add(1)
-		}
-		if n.pend != nil && n.pend.msg.Seq == m.Seq && n.pend.msg.To == m.From {
-			// Our held proposal was refused: roll back (nothing was
-			// applied) and unlock.
-			n.pend = nil
-			n.cl.pending.Add(-1)
-		}
+	}
+	for _, m := range out.Send {
+		n.send(m)
 	}
 }
 
 func (n *node) send(m Message) {
-	m.Epoch = n.cl.epoch
 	n.cl.met.sent[m.Kind].Inc(n.id)
 	if err := n.cl.tr.Send(m); err != nil {
 		n.cl.noteSendErr(err)

@@ -65,6 +65,15 @@ type Message struct {
 	// Seq is the initiator's exchange sequence number; (initiator, Seq)
 	// uniquely identifies one exchange attempt.
 	Seq uint64
+	// Re is the request kind this message answers (MsgLock for PROPOSE and
+	// the busy-responder NACK, MsgPropose for COMMIT and the
+	// stale-proposal NACK; zero on LOCK, which answers nothing). NACK
+	// handling depends on it: seq counters are per-node namespaces, so a
+	// NACK refusing my LOCK and a NACK refusing my held proposal can carry
+	// the same (peer, seq) — only the answered kind tells an initiator
+	// abort from a responder rollback (see Machine.Deliver and
+	// MutNackRoleConfusion for the collision this prevents).
+	Re MsgKind
 	// Edge is the graph edge the exchange ticks.
 	Edge graph.EdgeID
 	// X is the payload: the initiator's value in a LOCK, the initiator's
@@ -231,6 +240,10 @@ type DelayTransport struct {
 	timers  map[*time.Timer]struct{}
 	closed  bool
 	delayed atomic.Int64
+	// inflight counts timer callbacks that have passed the closed check
+	// and are committed to delivering; Close waits for them, so that no
+	// message reaches the inner transport after Close returns.
+	inflight sync.WaitGroup
 	// innerErr records the first delivery failure from the inner
 	// transport. Because the real Send happens asynchronously in a timer
 	// callback, its error cannot be returned to the original caller;
@@ -279,10 +292,16 @@ func (t *DelayTransport) Send(m Message) error {
 		t.mu.Lock()
 		delete(t.timers, tm)
 		closed := t.closed
+		if !closed {
+			// Registered under the same mutex Close takes to set the
+			// flag, so Close's Wait observes this delivery.
+			t.inflight.Add(1)
+		}
 		t.mu.Unlock()
 		if closed {
 			return
 		}
+		defer t.inflight.Done()
 		if err := t.inner.Send(m); err != nil {
 			t.mu.Lock()
 			if t.innerErr == nil {
@@ -304,7 +323,10 @@ func (t *DelayTransport) Delayed() int64 { return t.delayed.Load() }
 // Recv implements Transport.
 func (t *DelayTransport) Recv(addr int) (<-chan Message, error) { return t.inner.Recv(addr) }
 
-// Close implements Transport, cancelling all in-flight deliveries.
+// Close implements Transport: every message still in the timer wheel is
+// cancelled, and Close blocks for the (at most a few) callbacks already
+// committed to delivering — after Close returns, no message reaches the
+// inner transport through this layer.
 func (t *DelayTransport) Close() error {
 	t.mu.Lock()
 	t.closed = true
@@ -313,5 +335,6 @@ func (t *DelayTransport) Close() error {
 		delete(t.timers, tm)
 	}
 	t.mu.Unlock()
+	t.inflight.Wait()
 	return t.inner.Close()
 }

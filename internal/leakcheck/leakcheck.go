@@ -1,0 +1,91 @@
+// Package leakcheck is a handwritten goroutine-leak detector for tests.
+//
+// The model is a count baseline: snapshot the goroutine count before the
+// code under test starts anything, and after shutdown assert the count has
+// settled back to the baseline. Counts (rather than goroutine identities)
+// keep the helper dependency-free and robust to runtime-internal
+// goroutines, at the cost of not naming the leaked goroutine directly —
+// which the full stack dump printed on failure recovers in practice.
+//
+// Shutdown is asynchronous (closed connections unwind, timer callbacks
+// finish), so the check polls with GC pressure for a bounded window
+// instead of asserting instantaneously.
+//
+// Usage:
+//
+//	base := leakcheck.Snapshot()
+//	... start and stop the system under test ...
+//	base.Check(t)
+//
+// or, equivalently, leakcheck.Track(t) at the top of the test to run the
+// check automatically from t.Cleanup.
+package leakcheck
+
+import (
+	"runtime"
+	"testing"
+	"time"
+)
+
+// settleWindow is how long Check waits for goroutine counts to drain back
+// to the baseline before declaring a leak.
+const settleWindow = 2 * time.Second
+
+// Base is a goroutine-count baseline captured by Snapshot.
+type Base struct{ n int }
+
+// Snapshot records the current goroutine count, after a GC cycle so
+// already-dead goroutines from earlier tests are collected out of the
+// baseline. Take it before constructing the system under test.
+func Snapshot() Base {
+	runtime.GC()
+	return Base{n: runtime.NumGoroutine()}
+}
+
+// Goroutines returns the baseline count (for logging).
+func (b Base) Goroutines() int { return b.n }
+
+// Check fails t (via Errorf, so cleanup-safe) if the goroutine count has
+// not returned to the baseline within the settle window, printing every
+// live goroutine's stack so the leak is identifiable.
+func (b Base) Check(t testing.TB) {
+	t.Helper()
+	b.CheckWithin(t, settleWindow)
+}
+
+// CheckWithin is Check with an explicit settle window.
+func (b Base) CheckWithin(t testing.TB, window time.Duration) {
+	t.Helper()
+	if n, stacks, ok := settle(b.n, window); !ok {
+		t.Errorf("leakcheck: %d goroutines still alive after %v (baseline %d):\n%s",
+			n, window, b.n, stacks)
+	}
+}
+
+// Track snapshots a baseline now and registers the check as a test
+// cleanup, so the assertion runs after the test body (and any of the
+// test's own Cleanups registered later, which run first).
+func Track(t testing.TB) {
+	base := Snapshot()
+	t.Cleanup(func() { base.Check(t) })
+}
+
+// settle polls until the goroutine count is at most base (ok=true) or the
+// window expires, in which case it returns the excess count and a full
+// stack dump (ok=false). GC runs each iteration: a goroutine that has
+// returned but whose g struct is cached can otherwise inflate the count.
+func settle(base int, window time.Duration) (n int, stacks []byte, ok bool) {
+	deadline := time.Now().Add(window)
+	for {
+		runtime.GC()
+		n = runtime.NumGoroutine()
+		if n <= base {
+			return n, nil, true
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<20)
+			return n, buf[:runtime.Stack(buf, true)], false
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}

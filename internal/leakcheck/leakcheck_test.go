@@ -1,0 +1,63 @@
+package leakcheck
+
+import (
+	"testing"
+	"time"
+)
+
+// TestSettleDetectsLeak drives the core directly (not through a testing.TB,
+// which would fail this very test): a goroutine parked on a channel must be
+// reported with a stack dump, and must pass once unblocked.
+func TestSettleDetectsLeak(t *testing.T) {
+	base := Snapshot()
+	block := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		<-block
+		close(done)
+	}()
+
+	n, stacks, ok := settle(base.n, 50*time.Millisecond)
+	if ok {
+		t.Fatal("parked goroutine not detected as a leak")
+	}
+	if n <= base.n {
+		t.Fatalf("reported count %d not above baseline %d", n, base.n)
+	}
+	if len(stacks) == 0 {
+		t.Fatal("no stack dump on failure")
+	}
+
+	close(block)
+	<-done
+	if _, _, ok := settle(base.n, settleWindow); !ok {
+		t.Fatal("goroutine exit not observed within the settle window")
+	}
+}
+
+func TestCheckPassesWhenQuiet(t *testing.T) {
+	base := Snapshot()
+	ch := make(chan struct{})
+	go close(ch)
+	<-ch
+	base.Check(t)
+}
+
+func TestTrackRunsFromCleanup(t *testing.T) {
+	Track(t)
+	stop := make(chan struct{})
+	exited := make(chan struct{})
+	go func() {
+		<-stop
+		close(exited)
+	}()
+	// The test's own later-registered cleanup runs before Track's check,
+	// so the goroutine is gone by the time the assertion fires.
+	t.Cleanup(func() {
+		close(stop)
+		<-exited
+	})
+	if base := Snapshot(); base.Goroutines() <= 0 {
+		t.Fatalf("implausible goroutine count %d", base.Goroutines())
+	}
+}

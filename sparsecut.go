@@ -31,6 +31,7 @@ import (
 	"time"
 
 	"sparsecut/internal/avgtime"
+	"sparsecut/internal/check"
 	"sparsecut/internal/core"
 	"sparsecut/internal/cut"
 	"sparsecut/internal/dist"
@@ -318,8 +319,14 @@ type (
 	// Cluster is the goroutine-per-node runtime; construct with NewCluster
 	// and drive with Run.
 	Cluster = dist.Cluster
-	// ClusterConfig configures NewCluster (time scale, seed, transport).
+	// ClusterConfig configures NewCluster (time scale, seed, transport,
+	// telemetry registry, crash schedule).
 	ClusterConfig = dist.ClusterConfig
+	// CrashEvent fail-stops one node for a window of simulated time;
+	// a slice of them forms ClusterConfig.Crashes, the fault-injection
+	// schedule. Values, seq counters and watermarks survive a crash
+	// (stable storage); in-flight messages to a downed node are lost.
+	CrashEvent = dist.CrashEvent
 	// Transport carries the runtime's protocol messages.
 	Transport = dist.Transport
 	// ExchangeRule is the local update a committed pairwise exchange
@@ -394,6 +401,81 @@ func NewAveragingExchange() ExchangeRule { return dist.NewVanillaRule() }
 func NewSparseCutExchange(part *Partition, cutEdge EdgeID, epochTicks int64, weight float64) (ExchangeRule, error) {
 	return dist.NewSparseCutRule(part, cutEdge, epochTicks, weight)
 }
+
+// Protocol verification, re-exported from internal/check: a deterministic
+// model checker that drives the runtime's exchange state machine through
+// systematically explored fault schedules (arbitrary delivery order,
+// drops, duplicated replies, timeouts, retransmissions, crash/recovery)
+// and asserts sum conservation, no stale commits, lock-state sanity and
+// quiescence after every step. Counterexamples are JSON traces that
+// replay deterministically; cmd/mcheck is the CLI front end and DESIGN.md
+// §11 the architecture notes.
+type (
+	// CheckSpec names the system under check: graph, initial values and
+	// exchange rule (CheckVanillaRule / CheckSparseCutRule).
+	CheckSpec = check.Spec
+	// CheckRuleSpec is the JSON-serializable exchange-rule description.
+	CheckRuleSpec = check.RuleSpec
+	// CheckOptions bounds the exploration (depth, state and fault
+	// budgets) and selects the fault alphabet.
+	CheckOptions = check.Options
+	// CheckResult reports exploration size and, on an invariant
+	// violation, the counterexample trace.
+	CheckResult = check.Result
+	// CheckTrace is a replayable counterexample: system spec, action
+	// schedule and the violation it produces.
+	CheckTrace = check.Trace
+	// CheckViolation is one invariant violation (step, invariant name,
+	// detail).
+	CheckViolation = check.Violation
+	// ProtocolMutation seeds an intentional protocol bug into the checked
+	// state machine (CheckOptions.Mutation) — the checker's self-test and
+	// CI mutation-gate mechanism. The zero value is the correct protocol;
+	// resolve names with ParseProtocolMutation.
+	ProtocolMutation = dist.Mutation
+)
+
+// ParseProtocolMutation resolves a mutation name as accepted by cmd/mcheck
+// -mutation: "none", "nack-rollback-applies", "stale-proposal-apply",
+// "commit-ignores-seq", "nack-ignores-role", "lax-watermark-dedup". The
+// last two are real bugs the model checker found in this protocol's own
+// seed (DESIGN.md §11.5), kept as mutations so the checker keeps proving
+// it would catch them.
+func ParseProtocolMutation(name string) (ProtocolMutation, bool) { return dist.ParseMutation(name) }
+
+// CheckVanillaRule is the model-checker spec for the vanilla averaging
+// exchange.
+func CheckVanillaRule() CheckRuleSpec { return check.Vanilla() }
+
+// CheckSparseCutRule is the model-checker spec for Algorithm A's exchange:
+// sides[i] in {0,1} assigns node i to a partition side, cutEdge is the
+// designated edge, epochTicks the swap period K, weight the swap
+// coefficient.
+func CheckSparseCutRule(sides []int, cutEdge int, epochTicks int64, weight float64) CheckRuleSpec {
+	return check.SparseCut(sides, cutEdge, epochTicks, weight)
+}
+
+// CheckExchange exhaustively model-checks the exchange protocol on spec up
+// to opt's bounds, returning exploration statistics and a replayable
+// counterexample trace if any invariant is violated.
+func CheckExchange(spec CheckSpec, opt CheckOptions) (*CheckResult, error) {
+	return check.Exhaustive(spec, opt)
+}
+
+// CheckExchangeWalks runs seeded random-walk model checking: walks
+// schedules of up to opt.MaxDepth uniformly random enabled actions —
+// depths beyond exhaustive reach, probabilistic coverage.
+func CheckExchangeWalks(spec CheckSpec, opt CheckOptions, seed uint64, walks int) (*CheckResult, error) {
+	return check.RandomWalk(spec, opt, seed, walks)
+}
+
+// ReplayTrace deterministically re-executes a counterexample trace,
+// returning the violation it reproduces (nil for a clean schedule).
+func ReplayTrace(tr *CheckTrace) (*CheckViolation, error) { return check.Replay(tr) }
+
+// ReadCheckTrace loads a counterexample trace written by
+// CheckTrace.WriteFile or cmd/mcheck -trace.
+func ReadCheckTrace(path string) (*CheckTrace, error) { return check.ReadTraceFile(path) }
 
 // Declarative scenario specs and the deterministic parallel sweep engine,
 // re-exported from internal/scenario and internal/sweep. A Scenario names
