@@ -26,6 +26,15 @@
 // -metrics writes the same snapshot as JSON to a file when the run ends
 // (either flag enables instrumentation; both default off, leaving the
 // runtime uninstrumented).
+//
+// -flight attaches the causal flight recorder: every protocol transition,
+// message hop, drop and timer fire lands in a bounded per-node ring
+// buffer, dumped to the named file when the run ends (.json = JSON,
+// anything else = compact binary) and served live at /debug/flightz while
+// -http is on. Render dumps with cmd/tracez:
+//
+//	distrun -graph dumbbell -n 16 -rule A -until 10 -flight run.scfr
+//	tracez -view timeline run.scfr
 package main
 
 import (
@@ -59,6 +68,8 @@ func main() {
 		compare   = flag.Bool("compare", false, "also run the sequential simulator on the same workload")
 		httpAddr  = flag.String("http", "", "serve live expvar telemetry + pprof on this address (e.g. :6060) during the run")
 		metrics   = flag.String("metrics", "", "write the final telemetry snapshot JSON to this file")
+		flightOut = flag.String("flight", "", "record per-exchange flight events and write the dump to this file (.json = JSON, else binary; render with tracez)")
+		flightCap = flag.Int("flight-cap", 0, "flight-recorder ring capacity per node (0 = default)")
 	)
 	flag.Parse()
 
@@ -86,6 +97,11 @@ func main() {
 		reg = sparsecut.NewMetricsRegistry()
 		cfg.Metrics = reg
 	}
+	var rec *sparsecut.FlightRecorder
+	if *flightOut != "" || *httpAddr != "" {
+		rec = sparsecut.NewFlightRecorder(g.NumNodes(), *flightCap)
+		cfg.Flight = rec
+	}
 	if *delay > 0 {
 		// The lock timeout must exceed the worst-case message round trip
 		// (three one-way hops) or the initiator refuses every proposal as
@@ -100,11 +116,12 @@ func main() {
 
 	if *httpAddr != "" {
 		expvar.Publish("sparsecut", expvar.Func(func() any { return reg.Snapshot() }))
+		http.Handle("/debug/flightz", sparsecut.FlightHandler(rec))
 		ln, err := newHTTPListener(*httpAddr)
 		if err != nil {
 			fatal(err)
 		}
-		fmt.Printf("telemetry:  http://%s/debug/vars (expvar) + /debug/pprof/\n", ln.Addr())
+		fmt.Printf("telemetry:  http://%s/debug/vars (expvar) + /debug/flightz + /debug/pprof/\n", ln.Addr())
 		go func() {
 			if err := http.Serve(ln, nil); err != nil {
 				fmt.Fprintln(os.Stderr, "distrun: telemetry server:", err)
@@ -136,6 +153,8 @@ func main() {
 		if lat, ok := snap.Histograms["dist.exchange.latency_ns"]; ok && lat.Count > 0 {
 			fmt.Printf("latency:    %v mean over %d committed exchanges\n",
 				(time.Duration(lat.Sum / lat.Count)).Round(time.Microsecond), lat.Count)
+			fmt.Printf("            p50 ~%v  p95 ~%v  p99 ~%v (log2-bucket estimates)\n",
+				quantileDur(lat, 0.50), quantileDur(lat, 0.95), quantileDur(lat, 0.99))
 		}
 		if *metrics != "" {
 			f, err := os.Create(*metrics)
@@ -150,6 +169,15 @@ func main() {
 			}
 			fmt.Printf("metrics:    wrote snapshot to %s\n", *metrics)
 		}
+	}
+
+	if *flightOut != "" {
+		d := rec.Snapshot()
+		if err := d.WriteFile(*flightOut); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("flight:     wrote %d events to %s (overwritten %d); render with: go run ./cmd/tracez %s\n",
+			len(d.Events), *flightOut, d.Overwritten, *flightOut)
 	}
 
 	if *compare {
@@ -234,6 +262,15 @@ func buildTransport(g *sparsecut.Graph, useTCP bool, drop float64, delay time.Du
 		desc += fmt.Sprintf(" + %.0f%% loss", drop*100)
 	}
 	return tr, desc, nil
+}
+
+// quantileDur renders a histogram quantile estimate as a rounded duration.
+func quantileDur(h sparsecut.MetricsHistogram, q float64) time.Duration {
+	v := h.Quantile(q)
+	if math.IsNaN(v) {
+		return 0
+	}
+	return time.Duration(v).Round(time.Microsecond)
 }
 
 // newHTTPListener binds the telemetry address up front so the printed URL

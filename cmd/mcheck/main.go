@@ -13,6 +13,7 @@
 //	mcheck -graph dumbbell -n 6 -rule A -depth 10 -drop         # Algorithm A's rule
 //	mcheck -mutation lax-watermark-dedup -trace cex.json        # catch a seeded bug
 //	mcheck -replay cex.json                                     # replay a counterexample
+//	mcheck -replay cex.json -flight cex.scfr                    # + flight dump & span timeline
 //
 // Exit status: 0 when no invariant is violated, 1 on a violation (the
 // counterexample is printed, and written to -trace if set), 2 on usage or
@@ -30,6 +31,7 @@ import (
 	"sparsecut"
 	"sparsecut/internal/check"
 	"sparsecut/internal/dist"
+	"sparsecut/internal/flight"
 	"sparsecut/internal/graph"
 )
 
@@ -50,13 +52,14 @@ func main() {
 		seed      = flag.Uint64("seed", 1, "random seed (walk mode)")
 		mutation  = flag.String("mutation", "none", "seed an intentional protocol bug (checker self-test)")
 		traceOut  = flag.String("trace", "", "write the counterexample trace JSON to this file")
+		flightOut = flag.String("flight", "", "replay the counterexample through the flight recorder, write the dump here (render with tracez), and print its span timeline")
 		replayIn  = flag.String("replay", "", "replay a counterexample trace JSON instead of exploring")
 		expectBug = flag.Bool("expect-violation", false, "exit 0 iff a violation IS found (CI mutation gates)")
 	)
 	flag.Parse()
 
 	if *replayIn != "" {
-		os.Exit(replay(*replayIn))
+		os.Exit(replay(*replayIn, *flightOut))
 	}
 
 	spec, err := buildSpec(*graphKind, *n, *ruleKind, *epochK)
@@ -133,6 +136,11 @@ func main() {
 		fmt.Printf("mcheck: FAIL: counterexample does not replay (got %+v, err %v)\n", v, err)
 		os.Exit(2)
 	}
+	if *flightOut != "" {
+		if err := flightDump(tr, *flightOut); err != nil {
+			fatal(err)
+		}
+	}
 	if *expectBug {
 		fmt.Println("mcheck: violation found and replayed, as expected")
 		return
@@ -143,7 +151,8 @@ func main() {
 // replay re-executes a trace file and compares against its recorded
 // violation. Exit 0 on faithful reproduction (including a recorded clean
 // run), 1 when the violation reproduces differently, 2 on broken traces.
-func replay(path string) int {
+// With flightOut set the replay additionally captures a flight dump.
+func replay(path, flightOut string) int {
 	tr, err := check.ReadTraceFile(path)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "mcheck:", err)
@@ -153,6 +162,12 @@ func replay(path string) int {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "mcheck: replay:", err)
 		return 2
+	}
+	if flightOut != "" {
+		if err := flightDump(tr, flightOut); err != nil {
+			fmt.Fprintln(os.Stderr, "mcheck: flight:", err)
+			return 2
+		}
 	}
 	switch {
 	case tr.Violation.Same(v):
@@ -168,6 +183,25 @@ func replay(path string) int {
 		fmt.Printf("mcheck: REPLAY MISMATCH\n  recorded: %s\n  replayed: %s\n", rec, got)
 		return 1
 	}
+}
+
+// flightDump replays tr through the flight recorder (virtual ticks,
+// byte-deterministic — see check.ReplayFlight), writes the dump to path,
+// and prints the schedule as a per-exchange span timeline.
+func flightDump(tr *check.Trace, path string) error {
+	rec := flight.New(tr.Graph.Nodes, 0)
+	if _, err := check.ReplayFlight(tr, rec); err != nil {
+		return err
+	}
+	d := rec.Snapshot()
+	if err := d.WriteFile(path); err != nil {
+		return err
+	}
+	fmt.Printf("mcheck: flight dump (%d events) written to %s; render with: go run ./cmd/tracez -view timeline %s\n",
+		len(d.Events), path, path)
+	fmt.Println("mcheck: schedule as span timeline (times are virtual ticks):")
+	flight.RenderTimeline(os.Stdout, flight.Stitch(d), flight.NewFilter())
+	return nil
 }
 
 // buildSpec assembles the checked system. Initial values follow a fixed

@@ -172,23 +172,7 @@ func (tr *Trace) specAndOptions() (Spec, Options, error) {
 // merely disagrees with tr.Violation is reported by comparing the returned
 // violation via Violation.Same.
 func Replay(tr *Trace) (*Violation, error) {
-	spec, opt, err := tr.specAndOptions()
-	if err != nil {
-		return nil, err
-	}
-	w, err := newWorld(spec, opt)
-	if err != nil {
-		return nil, err
-	}
-	for _, a := range tr.Actions {
-		if err := w.apply(a); err != nil {
-			if v, ok := err.(*Violation); ok {
-				return v, nil
-			}
-			return nil, err
-		}
-	}
-	return nil, nil
+	return ReplayFlight(tr, nil)
 }
 
 // WriteFile serialises the trace as indented JSON.

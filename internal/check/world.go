@@ -6,6 +6,7 @@ import (
 	"sort"
 
 	"sparsecut/internal/dist"
+	"sparsecut/internal/flight"
 	"sparsecut/internal/graph"
 )
 
@@ -60,6 +61,13 @@ type world struct {
 
 	// Spent schedule budgets (see Options).
 	inits, dups, resends, crashes int
+
+	// rec, when non-nil, receives a flight record for every applied
+	// action (ReplayFlight sets it on the top-level replay world; the
+	// emission mapping is dist.FlightEmitter, shared with the live
+	// runtime). Clones drop it, so the throwaway quiescence drains the
+	// invariants run record nothing.
+	rec *flight.Recorder
 }
 
 func newWorld(spec Spec, opt Options) (*world, error) {
@@ -118,6 +126,7 @@ func (w *world) clone() *world {
 	for k, v := range w.xInit {
 		cp.xInit[k] = v
 	}
+	cp.rec = nil
 	return &cp
 }
 
@@ -188,8 +197,12 @@ func (w *world) apply(a Action) error {
 		}
 		verr = w.deliver(m, false)
 	case OpDrop:
-		if _, err := w.takeMsg(a.Msg); err != nil {
+		m, err := w.takeMsg(a.Msg)
+		if err != nil {
 			return err
+		}
+		if w.rec != nil {
+			dist.FlightEmitter{Rec: w.rec}.NetDrop(m, m.From, flight.ReasonSchedule, w.nowNs)
 		}
 	case OpDup:
 		if a.Msg < 0 || a.Msg >= len(w.net) {
@@ -197,6 +210,9 @@ func (w *world) apply(a Action) error {
 		}
 		w.net = append(w.net, w.net[a.Msg])
 		w.dups++
+		if w.rec != nil {
+			dist.FlightEmitter{Rec: w.rec}.NetDup(w.net[a.Msg], w.nowNs)
+		}
 	case OpInitiate:
 		st, err := w.aliveNode(a.Node)
 		if err != nil {
@@ -216,6 +232,11 @@ func (w *world) apply(a Action) error {
 				w.xInit[exKey{st.ID, m.Seq}] = m.X
 			}
 		}
+		if w.rec != nil {
+			fe := dist.FlightEmitter{Rec: w.rec}
+			fe.Initiate(a.Node, out, w.nowNs)
+			w.emitSends(fe, a.Node, out.Send)
+		}
 		w.enqueue(out.Send)
 	case OpTimeout:
 		st, err := w.aliveNode(a.Node)
@@ -225,7 +246,14 @@ func (w *world) apply(a Action) error {
 		if st.Await == nil {
 			return fmt.Errorf("%w: timeout on node %d with no outstanding initiation", errInvalid, a.Node)
 		}
-		w.mc.TimeoutAwait(st)
+		var pre dist.FlightPre
+		if w.rec != nil {
+			pre = dist.FlightPreOf(st)
+		}
+		out := w.mc.TimeoutAwait(st)
+		if w.rec != nil {
+			dist.FlightEmitter{Rec: w.rec}.Timeout(a.Node, out, pre, w.nowNs)
+		}
 	case OpResend:
 		st, err := w.aliveNode(a.Node)
 		if err != nil {
@@ -234,8 +262,17 @@ func (w *world) apply(a Action) error {
 		if st.Pend == nil {
 			return fmt.Errorf("%w: resend on node %d with no held proposal", errInvalid, a.Node)
 		}
+		var pre dist.FlightPre
+		if w.rec != nil {
+			pre = dist.FlightPreOf(st)
+		}
 		out := w.mc.Resend(st, w.nowNs)
 		w.resends++
+		if w.rec != nil {
+			fe := dist.FlightEmitter{Rec: w.rec}
+			fe.Resend(a.Node, pre, w.nowNs)
+			w.emitSends(fe, a.Node, out.Send)
+		}
 		w.enqueue(out.Send)
 	case OpCrash:
 		st, err := w.aliveNode(a.Node)
@@ -244,12 +281,22 @@ func (w *world) apply(a Action) error {
 		}
 		w.crashed[a.Node] = true
 		w.crashes++
-		w.mc.Crash(st)
+		var pre dist.FlightPre
+		if w.rec != nil {
+			pre = dist.FlightPreOf(st)
+		}
+		out := w.mc.Crash(st)
+		if w.rec != nil {
+			dist.FlightEmitter{Rec: w.rec}.Crash(a.Node, out, pre, w.nowNs)
+		}
 	case OpRecover:
 		if a.Node < 0 || a.Node >= len(w.nodes) || !w.crashed[a.Node] {
 			return fmt.Errorf("%w: recover on node %d which is not crashed", errInvalid, a.Node)
 		}
 		w.crashed[a.Node] = false
+		if w.rec != nil {
+			dist.FlightEmitter{Rec: w.rec}.Recover(a.Node, w.nowNs)
+		}
 		w.enqueue(w.mc.Recover(w.nodes[a.Node], w.nowNs).Send)
 	default:
 		return fmt.Errorf("%w: unknown op %q", errInvalid, a.Op)
@@ -291,11 +338,22 @@ func (w *world) enqueue(ms []dist.Message) {
 	w.net = append(w.net, ms...)
 }
 
+// emitSends records each outgoing message of a step, mirroring the live
+// runtime's send() hook.
+func (w *world) emitSends(fe dist.FlightEmitter, node int, ms []dist.Message) {
+	for _, m := range ms {
+		fe.Send(node, m, w.nowNs)
+	}
+}
+
 // deliver hands m to its destination and runs the per-delivery ghost
 // checks. A message to a crashed node is lost — the runtime's fail-stop
 // semantics.
 func (w *world) deliver(m dist.Message, draining bool) error {
 	if w.crashed[m.To] {
+		if w.rec != nil {
+			dist.FlightEmitter{Rec: w.rec}.NetDrop(m, m.To, flight.ReasonDead, w.nowNs)
+		}
 		return nil
 	}
 	st := w.nodes[m.To]
@@ -305,7 +363,16 @@ func (w *world) deliver(m dist.Message, draining bool) error {
 	if st.Pend != nil {
 		pendSeq, pendInit = st.Pend.Msg.Seq, st.Pend.Msg.To
 	}
+	var pre dist.FlightPre
+	if w.rec != nil {
+		pre = dist.FlightPreOf(st)
+	}
 	out := w.mc.Deliver(st, m, w.nowNs, draining)
+	if w.rec != nil {
+		fe := dist.FlightEmitter{Rec: w.rec}
+		fe.Deliver(m.To, m, out, pre, w.nowNs)
+		w.emitSends(fe, m.To, out.Send)
+	}
 	w.enqueue(out.Send)
 	if out.Applied {
 		// Provenance: the delta the initiator just applied was computed by

@@ -30,6 +30,10 @@ import (
 	"sync/atomic"
 	"time"
 
+	"runtime/pprof"
+	"strconv"
+
+	"sparsecut/internal/flight"
 	"sparsecut/internal/graph"
 	"sparsecut/internal/metrics"
 	"sparsecut/internal/rng"
@@ -70,6 +74,13 @@ type ClusterConfig struct {
 	// schedule is interpreted relative to the start of each Run. See
 	// CrashEvent and the crash-path notes on Machine.
 	Crashes []CrashEvent
+	// Flight, when non-nil, receives the runtime's causal flight records:
+	// every protocol step, message send/receive, transport drop, timer
+	// fire and crash, ready for flight.Stitch to reconstruct per-exchange
+	// span trees (see internal/flight and cmd/tracez). nil disables the
+	// recorder at one pointer test per step. Like Metrics, use one
+	// recorder per cluster, sized with at least NumNodes rings.
+	Flight *flight.Recorder
 }
 
 // CrashEvent fail-stops one node at a simulated time. While down the node
@@ -137,6 +148,8 @@ type Cluster struct {
 	// met is the telemetry plane; all fields nil (every hook a no-op)
 	// unless ClusterConfig.Metrics was set.
 	met clusterMetrics
+	// rec is the flight recorder (nil = disabled); see flight.go.
+	rec *flight.Recorder
 }
 
 // NewCluster builds a runtime for rule on g with initial values x0
@@ -204,6 +217,10 @@ func NewCluster(g *graph.Graph, x0 []float64, rule Rule, cfg ClusterConfig) (*Cl
 	}
 	if cfg.Metrics != nil {
 		c.instrument(cfg.Metrics)
+	}
+	if cfg.Flight != nil {
+		c.rec = cfg.Flight
+		instrumentTransportFlight(c.rec, c.tr)
 	}
 	return c, nil
 }
@@ -286,7 +303,13 @@ func (c *Cluster) Run(ctx context.Context, duration float64) error {
 		nd.resetForRun(c.values[i], start)
 		c.wg.Add(1)
 		drainWG.Add(1)
-		go nd.loop(drainC, stopC, &drainWG)
+		// The pprof label makes -http profiles attribute work by node, the
+		// same way sweep workers carry sweep_family/sweep_algo.
+		go func(nd *node) {
+			pprof.Do(context.Background(), pprof.Labels("dist_node", strconv.Itoa(nd.id)), func(context.Context) {
+				nd.loop(drainC, stopC, &drainWG)
+			})
+		}(nd)
 	}
 
 	<-runCtx.Done()

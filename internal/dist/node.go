@@ -4,6 +4,7 @@ import (
 	"sync"
 	"time"
 
+	"sparsecut/internal/flight"
 	"sparsecut/internal/graph"
 	"sparsecut/internal/rng"
 )
@@ -162,6 +163,7 @@ func (n *node) loop(drainC, stopC <-chan struct{}, drainWG *sync.WaitGroup) {
 		case m := <-n.inbox:
 			if n.crashed {
 				n.cl.crashLost.Add(1)
+				recordNetDrop(n.cl.rec, m, n.id, flight.ReasonDead)
 				continue
 			}
 			n.step(stepDeliver, m, graph.HalfEdge{}, time.Now(), draining)
@@ -254,6 +256,12 @@ func (n *node) recover(now time.Time) {
 // into the cluster's accounting and the transport.
 func (n *node) step(kind stepKind, m Message, he graph.HalfEdge, now time.Time, draining bool) {
 	nowNs := now.UnixNano()
+	var pre FlightPre
+	if n.cl.rec != nil {
+		// Snapshot the Await/Pend identity the step may clear; emitStep
+		// needs it to name the exchange an abort or rollback resolved.
+		pre = FlightPreOf(&n.st)
+	}
 	var out StepOut
 	switch kind {
 	case stepDeliver:
@@ -272,12 +280,15 @@ func (n *node) step(kind stepKind, m Message, he graph.HalfEdge, now time.Time, 
 	if tap := n.cl.tap; tap != nil {
 		tap(nodeEvent{node: n.id, kind: kind, msg: m, he: he, nowNs: nowNs, draining: draining, out: out})
 	}
-	n.applyOut(out)
+	if n.cl.rec != nil {
+		n.emitStep(kind, m, out, pre, nowNs)
+	}
+	n.applyOut(out, nowNs)
 }
 
 // applyOut folds a StepOut into the cluster's counters and telemetry and
 // hands its messages to the transport.
-func (n *node) applyOut(out StepOut) {
+func (n *node) applyOut(out StepOut, nowNs int64) {
 	if out.Proposed {
 		n.cl.awaiting.Add(1)
 		n.cl.met.proposed.Inc(n.id)
@@ -306,12 +317,15 @@ func (n *node) applyOut(out StepOut) {
 		}
 	}
 	for _, m := range out.Send {
-		n.send(m)
+		n.send(m, nowNs)
 	}
 }
 
-func (n *node) send(m Message) {
+func (n *node) send(m Message, nowNs int64) {
 	n.cl.met.sent[m.Kind].Inc(n.id)
+	if rec := n.cl.rec; rec != nil {
+		rec.Record(msgRecord(flight.EvSend, m, n.id, nowNs))
+	}
 	if err := n.cl.tr.Send(m); err != nil {
 		n.cl.noteSendErr(err)
 	}

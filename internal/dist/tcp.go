@@ -7,6 +7,8 @@ import (
 	"net"
 	"sync"
 	"sync/atomic"
+
+	"sparsecut/internal/flight"
 )
 
 // TCPTransport carries protocol messages over loopback TCP: one listener
@@ -29,6 +31,7 @@ type TCPTransport struct {
 	congested atomic.Int64
 	bytesOut  atomic.Int64
 	bytesIn   atomic.Int64
+	rec       atomic.Pointer[flight.Recorder]
 }
 
 // countWriter and countReader tally wire bytes as the gob streams move
@@ -140,6 +143,7 @@ func (t *TCPTransport) serve(addr int, c net.Conn) {
 			// reader must not stall the whole connection behind one
 			// saturated destination.
 			t.congested.Add(1)
+			recordNetDrop(t.rec.Load(), m, addr, flight.ReasonCongestion)
 		}
 	}
 }

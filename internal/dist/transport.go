@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"sparsecut/internal/flight"
 	"sparsecut/internal/graph"
 	"sparsecut/internal/rng"
 )
@@ -113,6 +114,9 @@ type ChanTransport struct {
 	closed    chan struct{}
 	once      sync.Once
 	congested atomic.Int64
+	// rec receives a flight record per congestion drop (atomic because
+	// instrumentation may attach after senders are already active).
+	rec atomic.Pointer[flight.Recorder]
 }
 
 var _ Transport = (*ChanTransport)(nil)
@@ -157,6 +161,7 @@ func (t *ChanTransport) Send(m Message) error {
 	case box <- m:
 	default:
 		t.congested.Add(1)
+		recordNetDrop(t.rec.Load(), m, m.From, flight.ReasonCongestion)
 	}
 	return nil
 }
@@ -186,6 +191,7 @@ type DropTransport struct {
 	mu      sync.Mutex
 	r       *rng.RNG
 	dropped atomic.Int64
+	rec     atomic.Pointer[flight.Recorder]
 }
 
 var _ Transport = (*DropTransport)(nil)
@@ -214,6 +220,7 @@ func (t *DropTransport) Send(m Message) error {
 	t.mu.Unlock()
 	if u < t.rate {
 		t.dropped.Add(1)
+		recordNetDrop(t.rec.Load(), m, m.From, flight.ReasonLoss)
 		return nil
 	}
 	return t.inner.Send(m)

@@ -1,0 +1,178 @@
+package flight
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// synthDump assembles a dump with three exchanges plus loose records:
+//   - (0, 1): the full committed path 0->1 over edge 5;
+//   - (2, 7): nack-refused;
+//   - (1, 3): timeout abort with a lost LOCK;
+//
+// and a crash/recover pair that belongs to no exchange.
+func synthDump() *Dump {
+	rc := New(3, 32)
+	// Committed exchange (0,1): initiate/send/recv/hold/propose/apply/commit.
+	rc.Record(Record{TimeNs: 100, Seq: 1, X: -2, Init: 0, Node: 0, Peer: 1, Edge: 5, Kind: EvInitiate})
+	rc.Record(Record{TimeNs: 100, Seq: 1, X: -2, Init: 0, Node: 0, Peer: 1, Edge: 5, Kind: EvSend, Msg: MsgLock})
+	rc.Record(Record{TimeNs: 110, Seq: 1, X: -2, Init: 0, Node: 1, Peer: 0, Edge: 5, Kind: EvRecv, Msg: MsgLock})
+	rc.Record(Record{TimeNs: 110, Seq: 1, X: 1.5, Init: 0, Node: 1, Peer: 0, Edge: 5, Kind: EvPendHold})
+	rc.Record(Record{TimeNs: 110, Seq: 1, X: 1.5, Init: 0, Node: 1, Peer: 0, Edge: NoNode, Kind: EvSend, Msg: MsgPropose, Re: MsgLock})
+	rc.Record(Record{TimeNs: 120, Seq: 1, X: 1.5, Init: 0, Node: 0, Peer: 1, Edge: NoNode, Kind: EvRecv, Msg: MsgPropose, Re: MsgLock})
+	rc.Record(Record{TimeNs: 120, Seq: 1, X: 1.5, Init: 0, Node: 0, Peer: 1, Edge: NoNode, Kind: EvApply})
+	rc.Record(Record{TimeNs: 120, Seq: 1, Init: 0, Node: 0, Peer: 1, Edge: NoNode, Kind: EvSend, Msg: MsgCommit})
+	rc.Record(Record{TimeNs: 130, Seq: 1, Init: 0, Node: 1, Peer: 0, Edge: NoNode, Kind: EvRecv, Msg: MsgCommit})
+	rc.Record(Record{TimeNs: 130, Seq: 1, X: 1.5, Init: 0, Node: 1, Peer: 0, Edge: NoNode, Kind: EvCommit})
+	// Nack-refused exchange (2,7).
+	rc.Record(Record{TimeNs: 105, Seq: 7, X: 3, Init: 2, Node: 2, Peer: 1, Edge: 8, Kind: EvInitiate})
+	rc.Record(Record{TimeNs: 105, Seq: 7, X: 3, Init: 2, Node: 2, Peer: 1, Edge: 8, Kind: EvSend, Msg: MsgLock})
+	rc.Record(Record{TimeNs: 115, Seq: 7, X: 3, Init: 2, Node: 1, Peer: 2, Edge: 8, Kind: EvRecv, Msg: MsgLock})
+	rc.Record(Record{TimeNs: 115, Seq: 7, Init: 2, Node: 1, Peer: 2, Edge: NoNode, Kind: EvSend, Msg: MsgNack, Re: MsgLock})
+	rc.Record(Record{TimeNs: 125, Seq: 7, Init: 2, Node: 2, Peer: 1, Edge: NoNode, Kind: EvRecv, Msg: MsgNack, Re: MsgLock})
+	rc.Record(Record{TimeNs: 125, Seq: 7, Init: 2, Node: 2, Peer: NoNode, Edge: NoNode, Kind: EvAbort, Flags: ReasonNack})
+	// Timeout abort (1,3): LOCK lost in transit.
+	rc.Record(Record{TimeNs: 140, Seq: 3, X: 1, Init: 1, Node: 1, Peer: 2, Edge: 9, Kind: EvInitiate})
+	rc.Record(Record{TimeNs: 140, Seq: 3, X: 1, Init: 1, Node: 1, Peer: 2, Edge: 9, Kind: EvSend, Msg: MsgLock})
+	rc.Record(Record{TimeNs: 145, Seq: 3, X: 1, Init: 1, Node: 1, Peer: 2, Edge: 9, Kind: EvNetDrop, Msg: MsgLock, Flags: ReasonLoss})
+	rc.Record(Record{TimeNs: 160, Seq: 3, Init: 1, Node: 1, Peer: NoNode, Edge: NoNode, Kind: EvTimeout})
+	rc.Record(Record{TimeNs: 160, Seq: 3, Init: 1, Node: 1, Peer: NoNode, Edge: NoNode, Kind: EvAbort, Flags: ReasonTimeout})
+	// Loose records: a crash/recover pair outside any exchange.
+	rc.Record(Record{TimeNs: 150, Init: NoNode, Node: 2, Peer: NoNode, Edge: NoNode, Kind: EvCrash})
+	rc.Record(Record{TimeNs: 170, Init: NoNode, Node: 2, Peer: NoNode, Edge: NoNode, Kind: EvRecover})
+	return rc.Snapshot()
+}
+
+func findSpan(t *testing.T, set *SpanSet, init int, seq uint64) *Span {
+	t.Helper()
+	for i := range set.Spans {
+		if set.Spans[i].Init == init && set.Spans[i].Seq == seq {
+			return &set.Spans[i]
+		}
+	}
+	t.Fatalf("no span (%d, %d) in %d spans", init, seq, len(set.Spans))
+	return nil
+}
+
+func TestStitchOutcomesAndPhases(t *testing.T) {
+	set := Stitch(synthDump())
+	if len(set.Spans) != 3 {
+		t.Fatalf("stitched %d spans, want 3", len(set.Spans))
+	}
+	if len(set.Loose) != 2 {
+		t.Errorf("%d loose records, want 2 (crash+recover)", len(set.Loose))
+	}
+
+	com := findSpan(t, set, 0, 1)
+	if com.Outcome != OutcomeCommitted || com.Reason != "" {
+		t.Errorf("(0,1) outcome %q/%q, want committed", com.Outcome, com.Reason)
+	}
+	if com.Resp != 1 || com.Edge != 5 {
+		t.Errorf("(0,1) resp=%d edge=%d, want 1/5", com.Resp, com.Edge)
+	}
+	if com.LockNs != 100 || com.HoldNs != 110 || com.ApplyNs != 120 || com.EndNs != 130 {
+		t.Errorf("(0,1) phases lock=%d hold=%d apply=%d end=%d, want 100/110/120/130",
+			com.LockNs, com.HoldNs, com.ApplyNs, com.EndNs)
+	}
+	if com.Latency() != 30 {
+		t.Errorf("(0,1) latency %d, want 30", com.Latency())
+	}
+	if com.Hops != 3 {
+		t.Errorf("(0,1) hops %d, want 3 (LOCK, PROPOSE, COMMIT)", com.Hops)
+	}
+
+	nack := findSpan(t, set, 2, 7)
+	if nack.Outcome != OutcomeAborted || nack.Reason != "nack-busy" {
+		t.Errorf("(2,7) outcome %q/%q, want aborted/nack-busy", nack.Outcome, nack.Reason)
+	}
+	if nack.ApplyNs != -1 || nack.HoldNs != -1 {
+		t.Errorf("(2,7) observed apply=%d hold=%d, want -1/-1", nack.ApplyNs, nack.HoldNs)
+	}
+	if nack.EndNs != 125 {
+		t.Errorf("(2,7) end %d, want 125", nack.EndNs)
+	}
+
+	to := findSpan(t, set, 1, 3)
+	if to.Outcome != OutcomeAborted || to.Reason != "timeout" {
+		t.Errorf("(1,3) outcome %q/%q, want aborted/timeout", to.Outcome, to.Reason)
+	}
+	if to.Drops != 1 {
+		t.Errorf("(1,3) drops %d, want 1", to.Drops)
+	}
+
+	// Spans are ordered by start time: 100, 105, 140.
+	starts := []int64{set.Spans[0].start(), set.Spans[1].start(), set.Spans[2].start()}
+	if starts[0] != 100 || starts[1] != 105 || starts[2] != 140 {
+		t.Errorf("span order by start = %v, want [100 105 140]", starts)
+	}
+}
+
+func TestStitchUnresolved(t *testing.T) {
+	rc := New(1, 8)
+	rc.Record(Record{TimeNs: 5, Seq: 2, Init: 0, Node: 0, Peer: 1, Edge: 0, Kind: EvInitiate})
+	rc.Record(Record{TimeNs: 5, Seq: 2, Init: 0, Node: 0, Peer: 1, Edge: 0, Kind: EvSend, Msg: MsgLock})
+	set := Stitch(rc.Snapshot())
+	if len(set.Spans) != 1 || set.Spans[0].Outcome != OutcomeUnresolved {
+		t.Fatalf("in-flight exchange not stitched as unresolved: %+v", set.Spans)
+	}
+	if set.Spans[0].Latency() != -1 {
+		t.Errorf("unresolved latency %d, want -1", set.Spans[0].Latency())
+	}
+}
+
+func TestFilterSelect(t *testing.T) {
+	set := Stitch(synthDump())
+	cases := []struct {
+		name string
+		f    Filter
+		want int
+	}{
+		{"all", NewFilter(), 3},
+		{"committed", func() Filter { f := NewFilter(); f.Outcome = OutcomeCommitted; return f }(), 1},
+		{"aborted", func() Filter { f := NewFilter(); f.Outcome = OutcomeAborted; return f }(), 2},
+		{"node1-touch", func() Filter { f := NewFilter(); f.Node = 1; return f }(), 3},
+		{"init2", func() Filter { f := NewFilter(); f.Init = 2; return f }(), 1},
+		{"seq3", func() Filter { f := NewFilter(); f.Seq = 3; return f }(), 1},
+		{"init0-aborted", func() Filter { f := NewFilter(); f.Init = 0; f.Outcome = OutcomeAborted; return f }(), 0},
+	}
+	for _, c := range cases {
+		if got := len(set.Select(c.f)); got != c.want {
+			t.Errorf("filter %s selected %d spans, want %d", c.name, got, c.want)
+		}
+	}
+}
+
+func TestRenderViewsSmoke(t *testing.T) {
+	set := Stitch(synthDump())
+	f := NewFilter()
+	var buf bytes.Buffer
+	RenderSpans(&buf, set, f)
+	if out := buf.String(); !strings.Contains(out, "1 committed") || !strings.Contains(out, "2 aborted") {
+		t.Errorf("spans view missing outcome counts:\n%s", out)
+	}
+	buf.Reset()
+	RenderTimeline(&buf, set, f)
+	out := buf.String()
+	for _, want := range []string{"initiate", "LOCK", "PROPOSE", "COMMIT", "nack-busy", "timeout", "outside any exchange", "crash"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("timeline view missing %q:\n%s", want, out)
+		}
+	}
+	buf.Reset()
+	RenderPhases(&buf, set, f)
+	if out := buf.String(); !strings.Contains(out, "lock->resolve") {
+		t.Errorf("phases view missing lock->resolve row:\n%s", out)
+	}
+	buf.Reset()
+	RenderAborts(&buf, set, f)
+	out = buf.String()
+	if !strings.Contains(out, "nack-busy") || !strings.Contains(out, "timeout") {
+		t.Errorf("aborts view missing reasons:\n%s", out)
+	}
+	buf.Reset()
+	RenderCritical(&buf, set, f)
+	if out := buf.String(); !strings.Contains(out, "critical path") {
+		t.Errorf("critical view missing header:\n%s", out)
+	}
+}

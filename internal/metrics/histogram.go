@@ -77,6 +77,45 @@ func (h *Histogram) Sum() int64 {
 	return h.sum.Load()
 }
 
+// Quantile estimates the q-quantile (q in [0, 1], clamped) of the
+// snapshot's observations from its log2 buckets: the bucket holding the
+// rank is found exactly, and the value is linearly interpolated inside
+// the bucket's [Lo, Hi] range. The error is therefore bounded by the
+// bucket width — under 2× at any value, and exact when a bucket holds a
+// single distinct value (e.g. bucket 0). Returns NaN on an empty
+// snapshot.
+func (s HistogramSnapshot) Quantile(q float64) float64 {
+	if s.Count <= 0 || len(s.Buckets) == 0 || math.IsNaN(q) {
+		return math.NaN()
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(s.Count)
+	seen := 0.0
+	for i, b := range s.Buckets {
+		n := float64(b.Count)
+		if seen+n >= rank || i == len(s.Buckets)-1 {
+			lo, hi := float64(b.Lo), float64(b.Hi)
+			if n <= 0 {
+				return lo
+			}
+			frac := (rank - seen) / n
+			if frac < 0 {
+				frac = 0
+			} else if frac > 1 {
+				frac = 1
+			}
+			return lo + frac*(hi-lo)
+		}
+		seen += n
+	}
+	return float64(s.Buckets[len(s.Buckets)-1].Hi) // unreachable
+}
+
 // snapshot captures the histogram's current state. Concurrent with writers
 // the buckets are each individually exact but may not form a consistent
 // cut; quiescent reads are exact.

@@ -77,6 +77,86 @@ func TestHistogramCountSum(t *testing.T) {
 	}
 }
 
+// TestQuantileEmptyAndInvalid pins the degenerate inputs: an empty
+// snapshot and a NaN q both yield NaN; q is clamped into [0,1].
+func TestQuantileEmptyAndInvalid(t *testing.T) {
+	var h Histogram
+	if v := h.snapshot().Quantile(0.5); !math.IsNaN(v) {
+		t.Errorf("empty snapshot Quantile = %v, want NaN", v)
+	}
+	h.Observe(8)
+	if v := h.snapshot().Quantile(math.NaN()); !math.IsNaN(v) {
+		t.Errorf("Quantile(NaN) = %v, want NaN", v)
+	}
+	s := h.snapshot()
+	lo, hi := s.Quantile(-3), s.Quantile(7)
+	if lo < 8 || lo > 15 || hi < 8 || hi > 15 {
+		t.Errorf("clamped quantiles %v/%v escape the only bucket [8,15]", lo, hi)
+	}
+}
+
+// TestQuantileSingleValueBuckets checks exactness where the format allows
+// it: bucket 0 ([0,0]) and bucket 1 ([1,1]) hold a single distinct value,
+// so any quantile landing there is exact.
+func TestQuantileSingleValueBuckets(t *testing.T) {
+	var h Histogram
+	for i := 0; i < 10; i++ {
+		h.Observe(0)
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(1)
+	}
+	s := h.snapshot()
+	if v := s.Quantile(0.25); v != 0 {
+		t.Errorf("p25 = %v, want exactly 0", v)
+	}
+	if v := s.Quantile(0.95); v != 1 {
+		t.Errorf("p95 = %v, want exactly 1", v)
+	}
+}
+
+// TestQuantileBucketError checks the documented error bound on a wide
+// spread: the estimate must land inside the bucket that holds the true
+// rank, i.e. within 2x of the true value.
+func TestQuantileBucketError(t *testing.T) {
+	var h Histogram
+	// 100 observations, value i+1 (1..100): true p50 is ~50, p95 ~95.
+	for i := int64(1); i <= 100; i++ {
+		h.Observe(i)
+	}
+	s := h.snapshot()
+	cases := []struct {
+		q        float64
+		trueVal  float64
+		loBucket uint64 // bucket holding the true rank
+		hiBucket uint64
+	}{
+		{0.50, 50, 32, 63},
+		{0.95, 95, 64, 127},
+		{0.99, 99, 64, 127},
+		{1.00, 100, 64, 127},
+	}
+	for _, c := range cases {
+		v := s.Quantile(c.q)
+		if v < float64(c.loBucket) || v > float64(c.hiBucket) {
+			t.Errorf("Quantile(%g) = %v, want inside the true value's bucket [%d,%d]",
+				c.q, v, c.loBucket, c.hiBucket)
+		}
+		if v < c.trueVal/2 || v > c.trueVal*2 {
+			t.Errorf("Quantile(%g) = %v violates the 2x bound around %g", c.q, v, c.trueVal)
+		}
+	}
+	// Monotonicity across q.
+	prev := math.Inf(-1)
+	for _, q := range []float64{0, 0.1, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99, 1} {
+		v := s.Quantile(q)
+		if v < prev {
+			t.Errorf("Quantile not monotone: q=%g gives %v < previous %v", q, v, prev)
+		}
+		prev = v
+	}
+}
+
 // TestHistogramHammer races many observers; the final count and sum must
 // be exact.
 func TestHistogramHammer(t *testing.T) {

@@ -28,6 +28,7 @@ package sparsecut
 import (
 	"fmt"
 	"io"
+	"net/http"
 	"time"
 
 	"sparsecut/internal/avgtime"
@@ -35,6 +36,7 @@ import (
 	"sparsecut/internal/core"
 	"sparsecut/internal/cut"
 	"sparsecut/internal/dist"
+	"sparsecut/internal/flight"
 	"sparsecut/internal/gossip"
 	"sparsecut/internal/graph"
 	"sparsecut/internal/metrics"
@@ -349,10 +351,43 @@ type (
 	MetricsRegistry = metrics.Registry
 	// MetricsSnapshot is a point-in-time export of a registry.
 	MetricsSnapshot = metrics.Snapshot
+	// MetricsHistogram is one histogram's snapshot inside a
+	// MetricsSnapshot; its Quantile method estimates p50/p95/p99 from the
+	// log2 buckets.
+	MetricsHistogram = metrics.HistogramSnapshot
 )
 
 // NewMetricsRegistry returns an empty enabled telemetry registry.
 func NewMetricsRegistry() *MetricsRegistry { return metrics.NewRegistry() }
+
+// Flight recorder, re-exported from internal/flight: a per-node bounded
+// ring buffer of fixed-size protocol event records (machine transitions,
+// message send/recv/drop, timer fires, crashes). Hand one to
+// ClusterConfig.Flight to capture a run, then Snapshot() it into a Dump
+// for serialization or span stitching; cmd/tracez renders the dumps. A
+// nil recorder disables capture at near-zero hot-path cost, exactly like
+// a nil MetricsRegistry.
+type (
+	// FlightRecorder captures protocol events into per-node rings; see
+	// internal/flight and DESIGN.md §12.
+	FlightRecorder = flight.Recorder
+	// FlightDump is a serialized flight capture (deterministic JSON or
+	// binary encoding; see Dump.WriteFile).
+	FlightDump = flight.Dump
+)
+
+// NewFlightRecorder returns a flight recorder with one ring of perNodeCap
+// records (flight.DefaultRingCap if perNodeCap <= 0) per node.
+func NewFlightRecorder(nodes, perNodeCap int) *FlightRecorder {
+	return flight.New(nodes, perNodeCap)
+}
+
+// FlightHandler serves rec's live capture over HTTP: the JSON dump by
+// default, ?format=binary for the binary framing, and
+// ?view=spans|timeline|phases|aborts|critical for the tracez text views
+// (filterable by ?node=, ?init=, ?seq=, ?outcome=). cmd/distrun mounts it
+// at /debug/flightz.
+func FlightHandler(rec *FlightRecorder) http.Handler { return flight.Handler(rec) }
 
 // NewCluster builds the decentralized runtime for rule on g with initial
 // values x0. One simulated time unit lasts cfg.TimeScale of wall-clock
