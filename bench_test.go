@@ -1,7 +1,7 @@
 package sparsecut
 
 // Benchmark harness: one testing.B benchmark per evaluation experiment
-// (E1–E14, see DESIGN.md §4) plus micro-benchmarks of the hot paths.
+// (E1–E15, see DESIGN.md §4) plus micro-benchmarks of the hot paths.
 //
 // The experiment benchmarks run the quick-mode workload once per iteration
 // and report each experiment's headline metrics via b.ReportMetric, so

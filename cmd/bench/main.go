@@ -1,5 +1,5 @@
 // Command bench runs the repository's performance suite — micro-benchmarks
-// of the simulation hot paths plus the E1–E14 experiments — and emits a
+// of the simulation hot paths plus the E1–E15 experiments — and emits a
 // machine-readable JSON report (ns/event, events/sec, allocations,
 // per-experiment wall time). It exists so every PR can record a comparable
 // perf baseline: see BENCH_PR2.json for the first one.
@@ -51,6 +51,10 @@ type MicroBench struct {
 	EventsPerSec float64 `json:"events_per_sec"`
 	BytesPerOp   int64   `json:"bytes_per_op"`
 	AllocsPerOp  int64   `json:"allocs_per_op"`
+	// BytesPerNode is the retained heap of the whole run state divided by
+	// the node count — the memory-footprint axis of the sharded rows,
+	// gated alongside ns/event by -baseline.
+	BytesPerNode float64 `json:"bytes_per_node,omitempty"`
 }
 
 // ExpTiming is one experiment's wall-clock cost.
@@ -200,6 +204,20 @@ func microBenches() []MicroBench {
 			}
 			_ = sink
 		}),
+		benchResult("rng/gamma-int-mixed-shapes", func(b *testing.B) {
+			// Alternating shapes defeat the per-shape d/c cache on every
+			// draw — the worst case the repeated-shape rows amortise away.
+			r := rng.New(1)
+			var sink float64
+			for i := 0; i < b.N; i++ {
+				if i&1 == 0 {
+					sink += r.GammaInt(64)
+				} else {
+					sink += r.GammaInt(256)
+				}
+			}
+			_ = sink
+		}),
 		benchResult("rng/exp-unit", func(b *testing.B) {
 			r := rng.New(1)
 			var sink float64
@@ -217,6 +235,63 @@ func microBenches() []MicroBench {
 			}
 		}),
 	}
+}
+
+// shardedBenches times the sharded PDES engine on graphs the materialised
+// engines cannot hold. The headline row is the 10^6-node dumbbell —
+// 2.5x10^11 edges, never materialised: ns_per_event covers the windowed
+// tile hot path, and bytes_per_node is the retained heap of the entire
+// run state (implicit graph + flat state + engine), measured with
+// runtime.MemStats across construction.
+func shardedBenches() ([]MicroBench, error) {
+	const (
+		side    = 500_000
+		cut     = 8
+		workers = 2 // the dumbbell tiles in 2; more workers would idle
+	)
+	build := func() (graph.Implicit, *sim.ShardEngine, error) {
+		ig, err := graph.ImplicitDumbbell(side, side, cut)
+		if err != nil {
+			return nil, nil, err
+		}
+		til := ig.Tiling()
+		x0 := gossip.CutIndicatorPrefix(ig.NumNodes(), ig.SplitPoint())
+		st, err := gossip.NewFlatState(x0, til.Bounds())
+		if err != nil {
+			return nil, nil, err
+		}
+		eng := sim.NewShardEngine(til, st, rng.New(1), sim.ShardConfig{Workers: workers})
+		return ig, eng, nil
+	}
+
+	// Retained footprint: GC-to-GC HeapAlloc delta around construction.
+	runtime.GC()
+	var m0, m1 runtime.MemStats
+	runtime.ReadMemStats(&m0)
+	ig, eng, err := build()
+	if err != nil {
+		return nil, err
+	}
+	runtime.GC()
+	runtime.ReadMemStats(&m1)
+	var bytesPerNode float64
+	if m1.HeapAlloc > m0.HeapAlloc {
+		bytesPerNode = float64(m1.HeapAlloc-m0.HeapAlloc) / float64(ig.NumNodes())
+	}
+	runtime.KeepAlive(eng)
+
+	rate := float64(ig.NumEdges())
+	row := benchResult("sharded/dumbbell-1m", func(b *testing.B) {
+		b.ReportAllocs()
+		_, eng, err := build()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		eng.RunUntil(float64(b.N) / rate)
+	})
+	row.BytesPerNode = bytesPerNode
+	return []MicroBench{row}, nil
 }
 
 // batchStreams derives one independent stream per replica, the way the
@@ -292,9 +367,10 @@ func runExperiments(quick bool) ([]ExpTiming, error) {
 }
 
 // regressionRows are the micro benchmarks the -baseline check gates on:
-// the untracked fused simulator and the batched multi-trial estimator —
-// the two headline hot paths of the perf stack.
-var regressionRows = []string{"simulator/vanilla-fused", "avgtime/batched-trials"}
+// the untracked fused simulator, the batched multi-trial estimator, and
+// the sharded million-node engine — the headline hot paths of the perf
+// stack. Sharded rows additionally gate bytes_per_node.
+var regressionRows = []string{"simulator/vanilla-fused", "avgtime/batched-trials", "sharded/dumbbell-1m"}
 
 // baselineFile accepts either a raw Report or a BENCH_PR<N>.json wrapper
 // whose "current" field holds one.
@@ -349,6 +425,10 @@ func checkRegression(current []MicroBench, baseline map[string]MicroBench, toler
 			fmt.Fprintf(os.Stderr, "bench: REGRESSION %q: %.2f ns/event vs baseline %.2f (tolerance %.1fx)\n",
 				name, cur.NsPerEvent, base.NsPerEvent, tolerance)
 			ok = false
+		case base.BytesPerNode > 0 && cur.BytesPerNode > tolerance*base.BytesPerNode:
+			fmt.Fprintf(os.Stderr, "bench: REGRESSION %q: %.1f bytes/node vs baseline %.1f (tolerance %.1fx)\n",
+				name, cur.BytesPerNode, base.BytesPerNode, tolerance)
+			ok = false
 		default:
 			fmt.Fprintf(os.Stderr, "bench: ok %q: %.2f ns/event vs baseline %.2f (tolerance %.1fx)\n",
 				name, cur.NsPerEvent, base.NsPerEvent, tolerance)
@@ -393,6 +473,12 @@ func main() {
 		os.Exit(1)
 	}
 	rep.Micro = append(rep.Micro, avg...)
+	shd, err := shardedBenches()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bench:", err)
+		os.Exit(1)
+	}
+	rep.Micro = append(rep.Micro, shd...)
 	if !*skipExperiments {
 		exps, err := runExperiments(*quick)
 		if err != nil {

@@ -9,19 +9,28 @@
 //	gossipsim -graph ringofcliques -n 64 -blocks 8 -algo A -until 100
 //	gossipsim -graph hypercube -dim 7 -algo pushsum     -until 30
 //	gossipsim -algo convex -alpha 0.8 ...
+//	gossipsim -n 1e6 -algo vanilla -shards 8 -until 0.001
 //
 // With -csv the sampled trajectory is written to stdout as
 // "series,t,value" rows; otherwise a short summary is printed. -progress
 // adds a periodic events/sec + variance meter on stderr; stdout output
 // (including -csv) is byte-identical with or without it.
+//
+// -shards N routes the run onto the sharded PDES engine over the
+// family's implicit edge representation (vanilla + uniform rates only;
+// see DESIGN.md §13): the graph is never materialised, so million-node
+// runs fit in memory. Output is byte-identical for any shard count.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"math"
 	"os"
+	"strconv"
 	"time"
 
+	"sparsecut/internal/gossip"
 	"sparsecut/internal/scenario"
 	"sparsecut/internal/sim"
 	"sparsecut/internal/trace"
@@ -30,7 +39,7 @@ import (
 func main() {
 	var (
 		graphKind = flag.String("graph", "dumbbell", "graph family (see -families)")
-		n         = flag.Int("n", 128, "total number of nodes")
+		nFlag     = flag.String("n", "128", "total number of nodes (accepts 1e6 notation)")
 		cutEdges  = flag.Int("cut", 0, "cut edges / doors / bridges (0 = family default)")
 		algo      = flag.String("algo", "A", "algorithm: A | vanilla | convex | pushsum")
 		alpha     = flag.Float64("alpha", 0.5, "mixing parameter for -algo convex")
@@ -40,6 +49,8 @@ func main() {
 		progress  = flag.Bool("progress", false, "print a periodic events/sec + variance meter to stderr")
 		initKind  = flag.String("init", "", "initial vector: worstcase|spike|random|gaussian|linear")
 		rateKind  = flag.String("rates", "", "clock-rate model: uniform|nodeclock|random")
+		shards    = flag.Int("shards", 0, "run on the sharded PDES engine with this many workers (vanilla only)")
+		window    = flag.Float64("window", 0, "sharded barrier spacing Δ (0 = engine default)")
 		list      = flag.Bool("families", false, "list the graph-family registry and exit")
 
 		// Family-specific shape parameters.
@@ -65,9 +76,14 @@ func main() {
 		return
 	}
 
+	n, err := parseCount(*nFlag)
+	if err != nil {
+		fatal(err)
+	}
+
 	spec := scenario.Spec{
 		Graph: scenario.GraphSpec{
-			Family: *graphKind, N: *n, N1: *n1, N2: *n2, Cut: *cutEdges,
+			Family: *graphKind, N: n, N1: *n1, N2: *n2, Cut: *cutEdges,
 			InnerCut: *innerCut, Rows: *rows, Cols: *cols, Dim: *dim,
 			Levels: *levels, Tail: *tail, Blocks: *blocks, Degree: *degree,
 			P: *p, PIn: *pIn, POut: *pOut, Radius: *radius,
@@ -75,7 +91,17 @@ func main() {
 		Algo:  scenario.AlgoSpec{Name: *algo, Alpha: *alpha},
 		Init:  *initKind,
 		Rates: *rateKind,
+		Stop:  scenario.StopSpec{Shards: *shards, Window: *window},
 		Seed:  *seed,
+	}
+	if *shards > 0 {
+		if *csv {
+			fatal(fmt.Errorf("-csv is not available with -shards (variance is only observed at window barriers)"))
+		}
+		if err := runSharded(spec, *until, *progress); err != nil {
+			fatal(err)
+		}
+		return
 	}
 	res, err := spec.Resolve()
 	if err != nil {
@@ -136,6 +162,70 @@ func main() {
 	fmt.Printf("var ratio:  %.6g\n", alg.Variance()/var0)
 }
 
+// runSharded executes one single-replica run on the sharded PDES engine:
+// implicit graph, flat state, windowed tile advancement. The summary on
+// stdout is deterministic — byte-identical for any -shards value.
+func runSharded(spec scenario.Spec, until float64, progress bool) error {
+	res, err := spec.Resolve()
+	if err != nil {
+		return err
+	}
+	til := res.Implicit.Tiling()
+	st, err := gossip.NewFlatState(res.X0, til.Bounds())
+	if err != nil {
+		return err
+	}
+	var0 := st.Variance()
+	cfg := sim.ShardConfig{Workers: spec.Stop.Shards, Window: spec.Stop.Window}
+	var meter *progressMeter
+	if progress {
+		meter = newProgressMeter()
+		cfg.Observer = func(t float64, events int64) {
+			meter.barrier(t, events, st.Variance()/var0)
+		}
+	}
+	eng := sim.NewShardEngine(til, st, res.AlgorithmRNG(), cfg)
+	start := time.Now()
+	eng.RunUntil(until)
+	if meter != nil {
+		meter.finish(eng.Now(), eng.Events(), st.Variance()/var0)
+	}
+
+	fmt.Printf("graph:      %s (implicit, n=%d, %d edges)\n",
+		res.Implicit.Name(), res.Implicit.NumNodes(), res.Implicit.NumEdges())
+	fmt.Printf("tiling:     %d tiles, %d boundary edges\n", len(til.Tiles), len(til.Boundary))
+	// The worker count stays off stdout: the summary is byte-identical
+	// for any -shards value, which CI checks with a plain cmp.
+	fmt.Printf("algorithm:  vanilla (sharded)\n")
+	fmt.Printf("simulated:  t=%.4g (%d events)\n", eng.Now(), eng.Events())
+	fmt.Printf("mean:       %.6g\n", st.Mean())
+	fmt.Printf("var ratio:  %.6g\n", st.Variance()/var0)
+	if progress {
+		wall := time.Since(start).Seconds()
+		if eng.Events() > 0 && wall > 0 {
+			fmt.Fprintf(os.Stderr, "progress: %.1f ns/event\n", wall*1e9/float64(eng.Events()))
+		}
+	}
+	return nil
+}
+
+// parseCount parses a node count, accepting plain integers and
+// scientific notation ("1e6") so scale runs don't need seven-digit
+// literals.
+func parseCount(s string) (int, error) {
+	if v, err := strconv.Atoi(s); err == nil {
+		return v, nil
+	}
+	f, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return 0, fmt.Errorf("invalid node count %q", s)
+	}
+	if f < 0 || f != math.Trunc(f) || f > math.MaxInt32 {
+		return 0, fmt.Errorf("node count %q is not a representable non-negative integer", s)
+	}
+	return int(f), nil
+}
+
 // progressMeter prints a periodic one-line telemetry reading to stderr.
 // The event-count mask keeps the common case to one AND + branch per
 // event; the wall-clock gate then limits actual prints to ~5 per second.
@@ -163,6 +253,21 @@ func (p *progressMeter) tick(t float64, events int64, varRatio func() float64) {
 	rate := float64(events-p.lastEvents) / gap.Seconds()
 	fmt.Fprintf(os.Stderr, "progress: t=%-10.4g %12d events  %10.4g ev/s  var %.4g\n",
 		t, events, rate, varRatio())
+	p.lastPrint = now
+	p.lastEvents = events
+}
+
+// barrier is tick without the event-count mask: the sharded engine
+// already rate-limits observer calls to window barriers.
+func (p *progressMeter) barrier(t float64, events int64, varRatio float64) {
+	now := time.Now()
+	gap := now.Sub(p.lastPrint)
+	if gap < 200*time.Millisecond {
+		return
+	}
+	rate := float64(events-p.lastEvents) / gap.Seconds()
+	fmt.Fprintf(os.Stderr, "progress: t=%-10.4g %12d events  %10.4g ev/s  var %.4g\n",
+		t, events, rate, varRatio)
 	p.lastPrint = now
 	p.lastEvents = events
 }

@@ -52,6 +52,8 @@ func main() {
 		rates    = flag.String("rates", "", "clock-rate models: comma list of uniform|nodeclock|random (a list becomes a sweep axis)")
 		trials   = flag.Int("trials", 5, "Monte-Carlo trials per cell")
 		maxTime  = flag.Float64("maxtime", 0, "censoring horizon per trial (0 = 60*n)")
+		shards   = flag.Int("shards", 0, "run cells on the sharded PDES engine with this many workers per trial (vanilla + implicit families only)")
+		window   = flag.Float64("window", 0, "sharded barrier spacing Δ (0 = engine default)")
 		seed     = flag.Uint64("seed", 1, "root seed; every cell seed derives from it")
 		workers  = flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS); does not affect results")
 		jsonOut  = flag.String("json", "", "write the JSON report to this file ('-' = stdout, replacing the table)")
@@ -106,6 +108,12 @@ func main() {
 	}
 	if *maxTime > 0 && use("maxtime") {
 		grid.Base.Stop.MaxTime = *maxTime
+	}
+	if *shards > 0 && use("shards") {
+		grid.Base.Stop.Shards = *shards
+	}
+	if *window > 0 && use("window") {
+		grid.Base.Stop.Window = *window
 	}
 
 	cfg := sweep.Config{Workers: *workers, Seed: *seed}

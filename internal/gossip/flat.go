@@ -1,0 +1,192 @@
+package gossip
+
+// FlatState is the memory-lean single-replica run state for the sharded
+// large-run engine: one flat float64 per node plus O(tiles) moment
+// accumulators — no per-node heap objects, no per-event allocation. It is
+// the single-replica analogue of BatchState, tiled instead of
+// replica-major: each tile of the graph tiling owns a contiguous value
+// range and its own (sum, sumSq) moments, so parallel tile workers touch
+// disjoint state and the global variance combines per-tile moments in a
+// fixed order — a deterministic reduction for any worker count.
+//
+// Like State, values are stored centred by the initial mean and each
+// exchange replays the uncentred arithmetic through the offset, keeping
+// the floating-point trajectory bit-identical to the uncentred per-event
+// simulator. Moments are maintained incrementally with the same fused
+// updates as State.AverageEdge and re-accumulated from scratch every
+// resyncInterval updates per tile to stop drift.
+//
+// FlatState assumes vanilla (pairwise-average) exchanges: it implements
+// sim.ShardKernel for the monotone hot path only.
+
+import (
+	"fmt"
+	"sort"
+)
+
+// FlatState holds tiled single-replica averaging state.
+type FlatState struct {
+	off float64   // initial mean; stored values are x - off
+	y   []float64 // centred node values
+
+	lo, hi []int32   // tile node ranges, ascending
+	sum    []float64 // per-tile Σ y, maintained incrementally
+	sumSq  []float64 // per-tile Σ y², maintained incrementally
+	ops    []int64   // per-tile updates since the last resync
+}
+
+// NewFlatState builds tiled state from initial values and tile bounds
+// ([lo, hi) pairs ascending and contiguous over [0, len(x0))), copying x0.
+func NewFlatState(x0 []float64, bounds [][2]int32) (*FlatState, error) {
+	n := len(x0)
+	if n == 0 {
+		return nil, fmt.Errorf("gossip: FlatState needs at least one node")
+	}
+	if len(bounds) == 0 {
+		return nil, fmt.Errorf("gossip: FlatState needs at least one tile")
+	}
+	var next int32
+	for i, b := range bounds {
+		if b[0] != next || b[1] <= b[0] {
+			return nil, fmt.Errorf("gossip: tile %d bounds [%d,%d) not contiguous after %d", i, b[0], b[1], next)
+		}
+		next = b[1]
+	}
+	if int(next) != n {
+		return nil, fmt.Errorf("gossip: tiles cover [0,%d) but state has %d nodes", next, n)
+	}
+	mean := 0.0
+	for _, v := range x0 {
+		mean += v
+	}
+	mean /= float64(n)
+	s := &FlatState{
+		off:   mean,
+		y:     make([]float64, n),
+		lo:    make([]int32, len(bounds)),
+		hi:    make([]int32, len(bounds)),
+		sum:   make([]float64, len(bounds)),
+		sumSq: make([]float64, len(bounds)),
+		ops:   make([]int64, len(bounds)),
+	}
+	for i := range x0 {
+		s.y[i] = x0[i] - mean
+	}
+	for i, b := range bounds {
+		s.lo[i], s.hi[i] = b[0], b[1]
+		s.resyncTile(i)
+	}
+	return s, nil
+}
+
+// N returns the node count.
+func (s *FlatState) N() int { return len(s.y) }
+
+// Tiles returns the tile count.
+func (s *FlatState) Tiles() int { return len(s.lo) }
+
+// Value returns node u's current (uncentred) value.
+func (s *FlatState) Value(u int) float64 { return s.y[u] + s.off }
+
+// Mean returns the current global mean — conserved by averaging up to
+// floating-point roundoff.
+func (s *FlatState) Mean() float64 {
+	var sum float64
+	for i := range s.sum {
+		sum += s.sum[i]
+	}
+	return sum/float64(len(s.y)) + s.off
+}
+
+// Variance returns the population variance, combining per-tile moments
+// in tile order (deterministic for any worker count), clamped at zero.
+func (s *FlatState) Variance() float64 {
+	var sum, sumSq float64
+	for i := range s.sum {
+		sum += s.sum[i]
+		sumSq += s.sumSq[i]
+	}
+	n := float64(len(s.y))
+	m := sum / n
+	v := sumSq/n - m*m
+	if v < 0 {
+		v = 0
+	}
+	return v
+}
+
+// average replays State.AverageEdge's uncentred arithmetic for the pair
+// (i, j) and returns the moment deltas.
+func (s *FlatState) average(i, j int32) (dSum, dSumSq float64) {
+	yi, yj := s.y[i], s.y[j]
+	c := ((yi + s.off) + (yj + s.off)) / 2
+	c -= s.off
+	s.y[i] = c
+	s.y[j] = c
+	cc := c * c
+	return c + c - yi - yj, cc + cc - yi*yi - yj*yj
+}
+
+// TickTile applies a chunk of internal exchanges to tile t. Both
+// endpoints must lie inside the tile; only tile t's state is touched, so
+// distinct tiles may tick concurrently.
+func (s *FlatState) TickTile(t int, us, vs []int32) {
+	var dSum, dSumSq float64
+	for k := range us {
+		a, b := s.average(us[k], vs[k])
+		dSum += a
+		dSumSq += b
+	}
+	s.sum[t] += dSum
+	s.sumSq[t] += dSumSq
+	s.ops[t] += int64(len(us))
+	if s.ops[t] >= resyncInterval {
+		s.resyncTile(t)
+	}
+}
+
+// Exchange applies one boundary exchange between nodes in (possibly)
+// different tiles. It must only be called from the single-threaded
+// barrier phase.
+func (s *FlatState) Exchange(u, v int32) {
+	yi, yj := s.y[u], s.y[v]
+	c := ((yi + s.off) + (yj + s.off)) / 2
+	c -= s.off
+	s.y[u] = c
+	s.y[v] = c
+	cc := c * c
+	tu, tv := s.tileOf(u), s.tileOf(v)
+	s.sum[tu] += c - yi
+	s.sumSq[tu] += cc - yi*yi
+	s.sum[tv] += c - yj
+	s.sumSq[tv] += cc - yj*yj
+	s.bumpOps(tu)
+	if tv != tu {
+		s.bumpOps(tv)
+	}
+}
+
+func (s *FlatState) bumpOps(t int) {
+	s.ops[t]++
+	if s.ops[t] >= resyncInterval {
+		s.resyncTile(t)
+	}
+}
+
+// tileOf locates the tile containing node u.
+func (s *FlatState) tileOf(u int32) int {
+	return sort.Search(len(s.hi), func(i int) bool { return s.hi[i] > u })
+}
+
+// resyncTile re-accumulates tile t's moments from the values, bounding
+// incremental drift.
+func (s *FlatState) resyncTile(t int) {
+	var sum, sumSq float64
+	for _, v := range s.y[s.lo[t]:s.hi[t]] {
+		sum += v
+		sumSq += v * v
+	}
+	s.sum[t] = sum
+	s.sumSq[t] = sumSq
+	s.ops[t] = 0
+}

@@ -1,0 +1,148 @@
+package gossip
+
+import (
+	"math"
+	"testing"
+
+	"sparsecut/internal/rng"
+)
+
+// TestFlatStateMatchesState drives FlatState and State through the same
+// exchange sequence: the stored values must stay bit-identical (both
+// replay the same fused offset arithmetic) and the moments must agree to
+// float tolerance across tile layouts.
+func TestFlatStateMatchesState(t *testing.T) {
+	const n = 40
+	r := rng.New(5)
+	x0 := make([]float64, n)
+	for i := range x0 {
+		x0[i] = r.Float64()*10 - 3
+	}
+	layouts := [][][2]int32{
+		{{0, n}},
+		{{0, 20}, {20, n}},
+		{{0, 7}, {7, 13}, {13, 29}, {29, n}},
+	}
+	for li, bounds := range layouts {
+		ref := NewState(x0)
+		fs, err := NewFlatState(x0, bounds)
+		if err != nil {
+			t.Fatalf("layout %d: %v", li, err)
+		}
+		sr := rng.New(99)
+		for step := 0; step < 5000; step++ {
+			i := sr.Intn(n)
+			j := sr.Intn(n - 1)
+			if j >= i {
+				j++
+			}
+			ref.AverageEdge(i, j)
+			u, v := int32(i), int32(j)
+			ti, tj := fs.tileOf(u), fs.tileOf(v)
+			if ti == tj {
+				fs.TickTile(ti, []int32{u}, []int32{v})
+			} else {
+				fs.Exchange(u, v)
+			}
+			if step%97 == 0 {
+				for k := 0; k < n; k++ {
+					if math.Float64bits(ref.Get(k)) != math.Float64bits(fs.Value(k)) {
+						t.Fatalf("layout %d step %d: value %d diverged: %v vs %v",
+							li, step, k, ref.Get(k), fs.Value(k))
+					}
+				}
+				if dv := math.Abs(ref.Variance() - fs.Variance()); dv > 1e-12 {
+					t.Fatalf("layout %d step %d: variance diverged by %v", li, step, dv)
+				}
+				if dm := math.Abs(ref.Mean() - fs.Mean()); dm > 1e-12 {
+					t.Fatalf("layout %d step %d: mean diverged by %v", li, step, dm)
+				}
+			}
+		}
+	}
+}
+
+// TestFlatStateResync pushes one tile past resyncInterval updates and
+// checks the moments stay exact.
+func TestFlatStateResync(t *testing.T) {
+	x0 := []float64{3, 1, 4, 1, 5, 9, 2, 6}
+	fs, err := NewFlatState(x0, [][2]int32{{0, 4}, {4, 8}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	us := make([]int32, 256)
+	vs := make([]int32, 256)
+	r := rng.New(11)
+	for round := 0; round < (resyncInterval/256)+4; round++ {
+		for k := range us {
+			i := r.Intn(4)
+			j := r.Intn(3)
+			if j >= i {
+				j++
+			}
+			us[k], vs[k] = int32(i), int32(j)
+		}
+		fs.TickTile(0, us, vs)
+	}
+	// Exact recomputation from values.
+	var sum, sumSq float64
+	for i := 0; i < fs.N(); i++ {
+		y := fs.Value(i)
+		sum += y
+		sumSq += y * y
+	}
+	n := float64(fs.N())
+	m := sum / n
+	want := sumSq/n - m*m
+	if want < 0 {
+		want = 0
+	}
+	if d := math.Abs(fs.Variance() - want); d > 1e-12 {
+		t.Fatalf("variance drifted by %v after resync-heavy run", d)
+	}
+}
+
+// TestFlatStateValidation rejects malformed tile layouts.
+func TestFlatStateValidation(t *testing.T) {
+	x0 := []float64{1, 2, 3, 4}
+	bad := [][][2]int32{
+		{},
+		{{0, 2}},                 // does not cover
+		{{0, 2}, {3, 4}},         // gap
+		{{0, 3}, {2, 4}},         // overlap
+		{{0, 2}, {2, 2}, {2, 4}}, // empty tile
+	}
+	for i, bounds := range bad {
+		if _, err := NewFlatState(x0, bounds); err == nil {
+			t.Errorf("layout %d: expected error", i)
+		}
+	}
+	if _, err := NewFlatState(nil, [][2]int32{{0, 1}}); err == nil {
+		t.Error("empty state: expected error")
+	}
+}
+
+// TestCutIndicatorPrefixMatches checks the prefix variant against the
+// partition-based CutIndicator values on a prefix split.
+func TestCutIndicatorPrefixMatches(t *testing.T) {
+	got := CutIndicatorPrefix(10, 4)
+	for u, v := range got {
+		var want float64
+		if u < 4 {
+			want = 1
+		} else {
+			want = -4.0 / 6.0
+		}
+		if v != want {
+			t.Fatalf("x[%d] = %v, want %v", u, v, want)
+		}
+	}
+	// Mean is zero by construction.
+	var sum float64
+	for _, v := range got {
+		sum += v
+	}
+	if math.Abs(sum) > 1e-12 {
+		t.Fatalf("prefix indicator sum = %v, want 0", sum)
+	}
+}

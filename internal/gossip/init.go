@@ -28,6 +28,25 @@ func CutIndicator(p *graph.Partition) []float64 {
 	return x
 }
 
+// CutIndicatorPrefix is CutIndicator for prefix partitions without a
+// materialised graph: nodes [0, n1) form side 1. The implicit families
+// all plant their cut at a prefix split (Implicit.SplitPoint), so this
+// produces element-identical worst-case initials to CutIndicator on the
+// corresponding materialised partition.
+func CutIndicatorPrefix(n, n1 int) []float64 {
+	f1 := float64(n1)
+	f2 := float64(n - n1)
+	x := make([]float64, n)
+	for u := 0; u < n; u++ {
+		if u < n1 {
+			x[u] = 1
+		} else {
+			x[u] = -f1 / f2
+		}
+	}
+	return x
+}
+
 // Spike returns the vector that is 1 at node src and 0 elsewhere — the
 // "single informed node" initial condition. It returns an error when src is
 // out of range.

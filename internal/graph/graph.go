@@ -16,6 +16,7 @@ package graph
 import (
 	"errors"
 	"fmt"
+	"math"
 	"sort"
 )
 
@@ -191,6 +192,10 @@ func NewBuilder(n int) *Builder {
 		b.err = fmt.Errorf("graph: negative node count %d", n)
 		return b
 	}
+	if err := checkIndexSpace(n, 0); err != nil {
+		b.err = err
+		return b
+	}
 	b.n = n
 	return b
 }
@@ -250,6 +255,9 @@ func (b *Builder) Build() (*Graph, error) {
 	if b.pos != nil && len(b.pos) != b.n {
 		return nil, fmt.Errorf("graph: %d positions for %d nodes", len(b.pos), b.n)
 	}
+	if err := checkIndexSpace(b.n, len(b.order)); err != nil {
+		return nil, err
+	}
 	g := &Graph{
 		name:  b.name,
 		edges: append([]Edge(nil), b.order...),
@@ -296,6 +304,29 @@ func (b *Builder) MustBuild() *Graph {
 		panic(err)
 	}
 	return g
+}
+
+// ErrTooLarge is returned (wrapped) when a graph would overflow the int32
+// id space of the materialised representation: NodeID/EdgeID are int32, and
+// the CSR half-edge arrays additionally need 2·|E| (plus the offset
+// sentinel) to fit an int32. Callers hitting it should switch to the
+// Implicit representation, whose edge ids are int64.
+var ErrTooLarge = errors.New("graph: graph exceeds int32 index space")
+
+// maxBuildEdges bounds |E| so 2·|E| half-edges plus the CSR offset
+// sentinel stay representable: csrOff[n] = 2·|E| must fit an int32.
+const maxBuildEdges = (math.MaxInt32 - 1) / 2
+
+// checkIndexSpace validates node and edge counts against the int32 id
+// space before Build commits to its large allocations.
+func checkIndexSpace(nodes, edges int) error {
+	if int64(nodes) > math.MaxInt32 {
+		return fmt.Errorf("%w: %d nodes (max %d)", ErrTooLarge, nodes, math.MaxInt32)
+	}
+	if int64(edges) > maxBuildEdges {
+		return fmt.Errorf("%w: %d edges (max %d)", ErrTooLarge, edges, maxBuildEdges)
+	}
+	return nil
 }
 
 // ErrDisconnected is returned by validators that require connectivity.

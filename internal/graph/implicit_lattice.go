@@ -1,0 +1,351 @@
+package graph
+
+// Implicit lattices: Grid and Torus have closed-form edge ids, so both
+// the enumeration contract and the tiling samplers are pure index math.
+// Tiles are horizontal row bands — for a lattice the cut between
+// adjacent bands is one row of vertical edges, i.e. O(cols) boundary per
+// seam against O(rows·cols/bands) internal edges.
+
+import (
+	"fmt"
+	"math"
+
+	"sparsecut/internal/rng"
+)
+
+// latticeBands picks the band count for an implicit lattice tiling:
+// enough tiles to spread across cores, never more than the rows allow.
+const latticeMaxBands = 32
+
+func latticeBands(rows int) int {
+	return min(rows, latticeMaxBands)
+}
+
+// implicitGrid mirrors Grid(rows, cols): per cell (r, c) in row-major
+// order, the edge to (r, c+1) is inserted first, then the edge to
+// (r+1, c). Rows above the last thus contribute a fixed-width stride of
+// W = 2·cols − 1 edge ids (the last column has no right edge), and the
+// last row contributes cols−1 right edges.
+type implicitGrid struct {
+	rows, cols int
+}
+
+// ImplicitGrid is Grid without materialisation: identical node
+// labelling and edge-id insertion order.
+func ImplicitGrid(rows, cols int) (Implicit, error) {
+	if rows < 1 || cols < 1 {
+		return nil, fmt.Errorf("graph: grid needs rows, cols >= 1, got %dx%d", rows, cols)
+	}
+	if int64(rows)*int64(cols) > math.MaxInt32 {
+		return nil, fmt.Errorf("%w: %dx%d grid", ErrTooLarge, rows, cols)
+	}
+	return &implicitGrid{rows: rows, cols: cols}, nil
+}
+
+func (g *implicitGrid) Name() string {
+	return fmt.Sprintf("grid(%dx%d)", g.rows, g.cols)
+}
+
+func (g *implicitGrid) NumNodes() int { return g.rows * g.cols }
+
+func (g *implicitGrid) NumEdges() int64 {
+	r, c := int64(g.rows), int64(g.cols)
+	return r*(c-1) + (r-1)*c
+}
+
+// SplitPoint splits the grid at the middle row boundary: the natural
+// sparse(ish) cut of cols vertical edges.
+func (g *implicitGrid) SplitPoint() int {
+	if g.rows < 2 {
+		return 0
+	}
+	return (g.rows / 2) * g.cols
+}
+
+// stride is the edge ids consumed per row above the last.
+func (g *implicitGrid) stride() int64 { return 2*int64(g.cols) - 1 }
+
+// rightID returns the id of the edge (r,c)-(r,c+1); requires c+1 < cols.
+func (g *implicitGrid) rightID(r, c int) int64 {
+	if r == g.rows-1 {
+		return int64(r)*g.stride() + int64(c)
+	}
+	return int64(r)*g.stride() + 2*int64(c)
+}
+
+// downID returns the id of the edge (r,c)-(r+1,c); requires r+1 < rows.
+func (g *implicitGrid) downID(r, c int) int64 {
+	if c == g.cols-1 {
+		// The last column has no right edge, so its down edge sits at
+		// the even slot.
+		return int64(r)*g.stride() + 2*int64(c)
+	}
+	return int64(r)*g.stride() + 2*int64(c) + 1
+}
+
+func (g *implicitGrid) Degree(u int) int {
+	r, c := u/g.cols, u%g.cols
+	d := 0
+	if r > 0 {
+		d++
+	}
+	if r+1 < g.rows {
+		d++
+	}
+	if c > 0 {
+		d++
+	}
+	if c+1 < g.cols {
+		d++
+	}
+	return d
+}
+
+func (g *implicitGrid) Neighbor(u, k int) (int, int64) {
+	r, c := u/g.cols, u%g.cols
+	// Peers in ascending order: up (u−cols), left (u−1), right (u+1),
+	// down (u+cols).
+	if r > 0 {
+		if k == 0 {
+			return u - g.cols, g.downID(r-1, c)
+		}
+		k--
+	}
+	if c > 0 {
+		if k == 0 {
+			return u - 1, g.rightID(r, c-1)
+		}
+		k--
+	}
+	if c+1 < g.cols {
+		if k == 0 {
+			return u + 1, g.rightID(r, c)
+		}
+		k--
+	}
+	if r+1 < g.rows && k == 0 {
+		return u + g.cols, g.downID(r, c)
+	}
+	panic(fmt.Sprintf("graph: implicit grid: neighbor index out of range for node %d", u))
+}
+
+func (g *implicitGrid) EdgeAt(id int64) (int, int) {
+	if id < 0 || id >= g.NumEdges() {
+		panic(fmt.Sprintf("graph: implicit grid: edge id %d outside [0,%d)", id, g.NumEdges()))
+	}
+	w := g.stride()
+	full := int64(g.rows-1) * w
+	if id >= full {
+		// Last row: right edges only.
+		c := int(id - full)
+		u := (g.rows-1)*g.cols + c
+		return u, u + 1
+	}
+	r := int(id / w)
+	off := id % w
+	u := r*g.cols + int(off/2)
+	if off == w-1 || off%2 == 1 {
+		// Down edge: the stride's final slot is the last column's down
+		// edge; odd slots are down edges elsewhere.
+		return u, u + g.cols
+	}
+	return u, u + 1
+}
+
+func (g *implicitGrid) Tiling() *Tiling {
+	nb := latticeBands(g.rows)
+	t := &Tiling{N: g.NumNodes()}
+	for i := 0; i < nb; i++ {
+		r0 := i * g.rows / nb
+		r1 := (i + 1) * g.rows / nb
+		t.Tiles = append(t.Tiles, g.bandTile(r0, r1))
+		if i > 0 {
+			// The seam between bands: vertical edges from row r0−1.
+			for c := 0; c < g.cols; c++ {
+				t.Boundary = append(t.Boundary,
+					NewEdge(NodeID((r0-1)*g.cols+c), NodeID(r0*g.cols+c)))
+			}
+		}
+	}
+	return t
+}
+
+// bandTile covers rows [r0, r1): internal edges are the band's
+// horizontal edges plus the vertical edges strictly inside it.
+func (g *implicitGrid) bandTile(r0, r1 int) Tile {
+	cols := g.cols
+	h := int64(r1-r0) * int64(cols-1)
+	v := int64(r1-r0-1) * int64(cols)
+	return Tile{
+		Lo:    int32(r0 * cols),
+		Hi:    int32(r1 * cols),
+		Edges: h + v,
+		Fill: func(r *rng.RNG, us, vs []int32) {
+			for k := range us {
+				e := int64(r.Intn(int(h + v)))
+				if e < h {
+					rr := r0 + int(e/int64(cols-1))
+					cc := int(e % int64(cols-1))
+					u := int32(rr*cols + cc)
+					us[k], vs[k] = u, u+1
+				} else {
+					e -= h
+					rr := r0 + int(e/int64(cols))
+					cc := int(e % int64(cols))
+					u := int32(rr*cols + cc)
+					us[k], vs[k] = u, u+int32(cols)
+				}
+			}
+		},
+	}
+}
+
+// implicitTorus mirrors Torus(rows, cols): per cell (r, c) in row-major
+// order, the wrap-right edge to (r, (c+1)%cols) then the wrap-down edge
+// to ((r+1)%rows, c) — exactly two edge ids per cell.
+type implicitTorus struct {
+	rows, cols int
+}
+
+// ImplicitTorus is Torus without materialisation: identical node
+// labelling and edge-id insertion order. Like Torus, both dimensions
+// must be >= 3 (smaller wraps create parallel edges).
+func ImplicitTorus(rows, cols int) (Implicit, error) {
+	if rows < 3 || cols < 3 {
+		return nil, fmt.Errorf("graph: torus needs rows, cols >= 3, got %dx%d", rows, cols)
+	}
+	if int64(rows)*int64(cols) > math.MaxInt32 {
+		return nil, fmt.Errorf("%w: %dx%d torus", ErrTooLarge, rows, cols)
+	}
+	return &implicitTorus{rows: rows, cols: cols}, nil
+}
+
+func (g *implicitTorus) Name() string {
+	return fmt.Sprintf("torus(%dx%d)", g.rows, g.cols)
+}
+
+func (g *implicitTorus) NumNodes() int   { return g.rows * g.cols }
+func (g *implicitTorus) NumEdges() int64 { return 2 * int64(g.rows) * int64(g.cols) }
+
+func (g *implicitTorus) SplitPoint() int { return (g.rows / 2) * g.cols }
+
+// hID is the id of cell (r,c)'s wrap-right edge, vID its wrap-down edge.
+func (g *implicitTorus) hID(r, c int) int64 { return 2 * (int64(r)*int64(g.cols) + int64(c)) }
+func (g *implicitTorus) vID(r, c int) int64 { return g.hID(r, c) + 1 }
+
+func (g *implicitTorus) Degree(int) int { return 4 }
+
+func (g *implicitTorus) Neighbor(u, k int) (int, int64) {
+	if k < 0 || k >= 4 {
+		panic(fmt.Sprintf("graph: implicit torus: neighbor index out of range for node %d", u))
+	}
+	rows, cols := g.rows, g.cols
+	r, c := u/cols, u%cols
+	up := (r - 1 + rows) % rows
+	down := (r + 1) % rows
+	left := (c - 1 + cols) % cols
+	right := (c + 1) % cols
+	type pe struct {
+		peer int
+		edge int64
+	}
+	nb := [4]pe{
+		{up*cols + c, g.vID(up, c)},
+		{down*cols + c, g.vID(r, c)},
+		{r*cols + left, g.hID(r, left)},
+		{r*cols + right, g.hID(r, c)},
+	}
+	// Insertion sort by peer: wraparound scrambles the natural order and
+	// four elements cost nothing.
+	for i := 1; i < 4; i++ {
+		for j := i; j > 0 && nb[j].peer < nb[j-1].peer; j-- {
+			nb[j], nb[j-1] = nb[j-1], nb[j]
+		}
+	}
+	return nb[k].peer, nb[k].edge
+}
+
+func (g *implicitTorus) EdgeAt(id int64) (int, int) {
+	if id < 0 || id >= g.NumEdges() {
+		panic(fmt.Sprintf("graph: implicit torus: edge id %d outside [0,%d)", id, g.NumEdges()))
+	}
+	cell := id / 2
+	r := int(cell) / g.cols
+	c := int(cell) % g.cols
+	u := r*g.cols + c
+	var v int
+	if id%2 == 0 {
+		v = r*g.cols + (c+1)%g.cols
+	} else {
+		v = ((r+1)%g.rows)*g.cols + c
+	}
+	if u > v {
+		u, v = v, u
+	}
+	return u, v
+}
+
+func (g *implicitTorus) Tiling() *Tiling {
+	nb := latticeBands(g.rows)
+	t := &Tiling{N: g.NumNodes()}
+	if nb < 2 {
+		// A single band: everything internal, sample via id inversion.
+		e := g.NumEdges()
+		t.Tiles = append(t.Tiles, Tile{
+			Lo: 0, Hi: int32(g.NumNodes()), Edges: e,
+			Fill: func(r *rng.RNG, us, vs []int32) {
+				for k := range us {
+					u, v := g.EdgeAt(int64(r.Intn(int(e))))
+					us[k], vs[k] = int32(u), int32(v)
+				}
+			},
+		})
+		return t
+	}
+	for i := 0; i < nb; i++ {
+		r0 := i * g.rows / nb
+		r1 := (i + 1) * g.rows / nb
+		t.Tiles = append(t.Tiles, g.bandTile(r0, r1))
+		// Every band owns the seam above it; with nb >= 2 every vertical
+		// wrap between bands is a boundary edge, including the row
+		// rows−1 -> 0 wrap (the seam above band 0).
+		up := (r0 - 1 + g.rows) % g.rows
+		for c := 0; c < g.cols; c++ {
+			t.Boundary = append(t.Boundary,
+				NewEdge(NodeID(up*g.cols+c), NodeID(r0*g.cols+c)))
+		}
+	}
+	return t
+}
+
+func (g *implicitTorus) bandTile(r0, r1 int) Tile {
+	cols := g.cols
+	h := int64(r1-r0) * int64(cols)
+	v := int64(r1-r0-1) * int64(cols)
+	return Tile{
+		Lo:    int32(r0 * cols),
+		Hi:    int32(r1 * cols),
+		Edges: h + v,
+		Fill: func(r *rng.RNG, us, vs []int32) {
+			for k := range us {
+				e := int64(r.Intn(int(h + v)))
+				if e < h {
+					rr := r0 + int(e/int64(cols))
+					cc := int(e % int64(cols))
+					u := int32(rr*cols + cc)
+					w := int32(rr*cols + (cc+1)%cols)
+					if u > w {
+						u, w = w, u
+					}
+					us[k], vs[k] = u, w
+				} else {
+					e -= h
+					rr := r0 + int(e/int64(cols))
+					cc := int(e % int64(cols))
+					u := int32(rr*cols + cc)
+					us[k], vs[k] = u, u+int32(cols)
+				}
+			}
+		},
+	}
+}

@@ -1,0 +1,140 @@
+package report
+
+// E15: the scale experiment. The sharded PDES engine (DESIGN.md §13) is a
+// pure engineering claim — Poisson superposition decomposes the edge-clock
+// process exactly, so the windowed tile simulation must reproduce the
+// per-event oracle's averaging times while never materialising the graph.
+// The entry runs the same scenario grid through both paths and compares.
+
+import (
+	"fmt"
+
+	"sparsecut/internal/graph"
+	"sparsecut/internal/scenario"
+	"sparsecut/internal/sweep"
+)
+
+func init() {
+	register(Entry{
+		ID:    "E15",
+		Title: "scale: sharded PDES engine vs the per-event oracle",
+		Claim: "Engineering: Poisson superposition splits the edge-clock process into independent per-tile streams plus a boundary stream, so the windowed sharded engine matches the oracle's Tav and preserves the Theorem 1 shape at O(n) memory",
+		Run:   runE15,
+	})
+}
+
+// prefixCutSize counts the implicit graph's boundary edges crossing the
+// prefix partition [0, SplitPoint) — the cut the worst-case init vector
+// straddles, hence the one Theorem 1 bounds.
+func prefixCutSize(ig graph.Implicit) int {
+	sp := graph.NodeID(ig.SplitPoint())
+	cut := 0
+	for _, e := range ig.Tiling().Boundary {
+		if (e.U < sp) != (e.V < sp) {
+			cut++
+		}
+	}
+	return cut
+}
+
+// e15Window is the sharded barrier spacing used by the comparison: well
+// below every Tav scale in the tables, so window quantisation is
+// negligible against Monte-Carlo noise.
+const e15Window = 0.25
+
+func runE15(p Params) (Section, error) {
+	var sec Section
+	trials := pick(p, 3, 7)
+	cases := []struct {
+		label   string
+		base    scenario.GraphSpec
+		ns      []int
+		theorem bool // check the Theorem 1 shape on the sharded path
+	}{
+		{
+			label:   "symmetric dumbbell, 1 cut edge",
+			base:    scenario.GraphSpec{Family: "dumbbell", Cut: 1},
+			ns:      pick(p, []int{32, 48}, []int{64, 96, 128}),
+			theorem: true,
+		},
+		{
+			label: "ring of 4 cliques, 1 bridge per joint",
+			base:  scenario.GraphSpec{Family: "ringofcliques", Blocks: 4, Cut: 1},
+			ns:    pick(p, []int{32, 48}, []int{64, 96, 128}),
+		},
+	}
+	for _, fc := range cases {
+		oracleGrid := sweep.Grid{
+			Base: scenario.Spec{
+				Graph: fc.base,
+				Stop:  scenario.StopSpec{Trials: trials},
+			},
+			Ns:    fc.ns,
+			Algos: []string{"vanilla"},
+		}
+		shardedGrid := oracleGrid
+		shardedGrid.Base.Stop.Shards = 4
+		shardedGrid.Base.Stop.Window = e15Window
+
+		oracle, err := runGrid(&sec, gridTable{name: "per-event oracle, " + fc.label, grid: oracleGrid}, p)
+		if err != nil {
+			return sec, err
+		}
+		rep, err := sweep.Run(shardedGrid, sweep.Config{Workers: p.Workers, Seed: p.Seed})
+		if err != nil {
+			return sec, err
+		}
+		sharded := rep.Cells
+		if len(sharded) != len(oracle) {
+			return sec, fmt.Errorf("E15: %d sharded vs %d oracle cells", len(sharded), len(oracle))
+		}
+
+		tbl := Table{
+			Name:    "sharded engine (4 workers, Δ=0.25), " + fc.label,
+			Columns: []string{"cell", "n", "|E|", "tiles", "cens", "oracle Tav", "sharded Tav", "ratio"},
+		}
+		var prevTav float64
+		for i, c := range sharded {
+			if c.Error != "" {
+				return sec, fmt.Errorf("cell %s: %s", c.Label, c.Error)
+			}
+			r, err := c.Spec.Resolve()
+			if err != nil {
+				return sec, err
+			}
+			til := r.Implicit.Tiling()
+			ratio := c.Tav / oracle[i].Tav
+			tbl.Rows = append(tbl.Rows, []string{
+				c.Label,
+				fmt.Sprintf("%d", c.Nodes),
+				fmt.Sprintf("%d", c.Edges),
+				fmt.Sprintf("%d", len(til.Tiles)),
+				fmt.Sprintf("%d", c.Censored),
+				oracle[i].TavString(),
+				c.TavString(),
+				fmt.Sprintf("%.3f", ratio),
+			})
+			sec.addCheck(fmt.Sprintf("sharded vs oracle Tav at %s", c.Label), ratio,
+				"within 2.5x either way (same distribution; the KS unit tests pin this tighter)",
+				c.Censored == 0 && ratio > 1/2.5 && ratio < 2.5)
+			sec.addMetric(fmt.Sprintf("tav-sharded-%s@%d", c.Spec.Graph.Family, c.Nodes), c.Tav)
+			sec.addMetric(fmt.Sprintf("ratio-%s@%d", c.Spec.Graph.Family, c.Nodes), ratio)
+
+			if fc.theorem {
+				bound := float64(c.Nodes/2) / float64(prefixCutSize(r.Implicit))
+				sec.addCheck(fmt.Sprintf("Theorem 1 shape on the sharded path at n=%d", c.Nodes), c.Tav/bound,
+					fmt.Sprintf(">= %.2g of min(|V1|,|V2|)/|E12|", Theorem1Margin),
+					c.Tav >= Theorem1Margin*bound)
+			}
+			if i > 0 {
+				sec.addCheck(fmt.Sprintf("sharded Tav monotone in n, %s, n=%d", c.Spec.Graph.Family, c.Nodes),
+					c.Tav/prevTav, "> 1 (Tav grows with n at fixed cut)", c.Tav > prevTav)
+			}
+			prevTav = c.Tav
+		}
+		sec.Tables = append(sec.Tables, tbl)
+	}
+	sec.Notes = append(sec.Notes,
+		"The sharded engine's output is byte-identical for any worker count (the tiling and RNG streams are fixed by the graph); the determinism and KS cross-checks live in internal/sim and internal/avgtime tests. The same engine completes a 10^6-node dumbbell (2.5x10^11 edges, never materialised) at ~30 ns/event — see cmd/bench's sharded rows.")
+	return sec, nil
+}

@@ -53,6 +53,21 @@ func boundsFor(c sweep.Cell) (cellBounds, error) {
 	if err != nil {
 		return b, fmt.Errorf("re-resolving %s: %w", c.Label, err)
 	}
+	if r.Implicit != nil {
+		// Sharded cells never materialise the graph, so the spectral
+		// ceilings are unavailable; only the combinatorial Theorem 1 bound
+		// of the prefix partition applies.
+		if sp := r.Implicit.SplitPoint(); sp > 0 {
+			if cut := prefixCutSize(r.Implicit); cut > 0 {
+				n := r.Implicit.NumNodes()
+				if sp > n-sp {
+					sp = n - sp
+				}
+				b.lower = float64(sp) / float64(cut)
+			}
+		}
+		return b, nil
+	}
 	opts := spectral.Options{}
 	switch r.Spec.Algo.Name {
 	case "vanilla", "convex", "pushsum":

@@ -1,5 +1,5 @@
 // Package report is the reproduction pipeline: it re-expresses the paper's
-// evaluation suite E1–E14 as declarative scenario grids (internal/scenario)
+// evaluation suite E1–E15 as declarative scenario grids (internal/scenario)
 // run through the deterministic parallel sweep engine (internal/sweep) and
 // the replica-batched simulation engine, computes the paper's predicted
 // bounds per cell from internal/spectral (the Theorem 1 sparse-cut lower
@@ -178,7 +178,7 @@ func (s *Section) FailedChecks() []string {
 
 // Entry is one registered experiment of the reproduction suite.
 type Entry struct {
-	// ID is the experiment identifier ("E1".."E14").
+	// ID is the experiment identifier ("E1".."E15").
 	ID string
 	// Title is a one-line description for listings.
 	Title string

@@ -16,8 +16,8 @@ var update = flag.Bool("update", false, "rewrite golden files")
 
 func TestRegistryComplete(t *testing.T) {
 	all := Entries()
-	if len(all) != 14 {
-		t.Fatalf("registry has %d experiments, want 14", len(all))
+	if len(all) != 15 {
+		t.Fatalf("registry has %d experiments, want 15", len(all))
 	}
 	for i, e := range all {
 		if e.ID == "" || e.Title == "" || e.Claim == "" || e.Run == nil {
@@ -57,7 +57,7 @@ func quickSection(t *testing.T, id string, seed uint64) Section {
 // TestSuitePassesQuick is the migrated claim suite: every experiment's
 // bound checks and derived checks must pass in quick mode. The thresholds
 // themselves live in the entries (they ARE the report's PASS/FAIL
-// convention), so this single test asserts the entire E1–E14 claim set.
+// convention), so this single test asserts the entire E1–E15 claim set.
 func TestSuitePassesQuick(t *testing.T) {
 	for _, e := range Entries() {
 		e := e

@@ -33,6 +33,14 @@ type RNG struct {
 	spare      float64
 	spareValid bool
 
+	// Cached Marsaglia–Tsang constants for GammaInt: valid while the
+	// shape equals gammaK (0 = empty). The batched simulator draws at a
+	// fixed shape (the chunk size) millions of times, so the d/c
+	// recomputation — a divide and a sqrt per draw — is pure overhead.
+	gammaK int
+	gammaD float64
+	gammaC float64
+
 	// Block buffer of pre-generated outputs; pos == u64BlockSize means
 	// empty.
 	pos int
@@ -281,9 +289,14 @@ func (r *RNG) GammaInt(k int) float64 {
 	// Marsaglia & Tsang (2000): for shape a >= 1, with d = a - 1/3 and
 	// c = 1/sqrt(9d), the candidate d·(1 + c·x)³ for x ~ N(0, 1) is
 	// accepted when u < 1 − 0.0331·x⁴ (fast squeeze) or
-	// log u < x²/2 + d·(1 − v + log v) (exact test).
-	d := float64(k) - 1.0/3.0
-	c := 1 / math.Sqrt(9*d)
+	// log u < x²/2 + d·(1 − v + log v) (exact test). d and c depend only
+	// on the shape, so they are cached across same-shape draws.
+	if k != r.gammaK {
+		r.gammaD = float64(k) - 1.0/3.0
+		r.gammaC = 1 / math.Sqrt(9*r.gammaD)
+		r.gammaK = k
+	}
+	d, c := r.gammaD, r.gammaC
 	for {
 		x := r.NormFloat64()
 		v := 1 + c*x

@@ -502,6 +502,48 @@ func TestGammaIntDeterministic(t *testing.T) {
 	}
 }
 
+// gammaIntUncached is the pre-cache reference implementation: identical
+// sampling loop, d/c recomputed on every call.
+func gammaIntUncached(r *RNG, k int) float64 {
+	if k == 1 {
+		return r.ExpUnit()
+	}
+	d := float64(k) - 1.0/3.0
+	c := 1 / math.Sqrt(9*d)
+	for {
+		x := r.NormFloat64()
+		v := 1 + c*x
+		if v <= 0 {
+			continue
+		}
+		v = v * v * v
+		u := r.Float64()
+		x2 := x * x
+		if u < 1-0.0331*x2*x2 {
+			return d * v
+		}
+		if math.Log(u) < 0.5*x2+d*(1-v+math.Log(v)) {
+			return d * v
+		}
+	}
+}
+
+// TestGammaIntCacheMatchesUncached drives the d/c shape cache through
+// alternating and repeated shapes: every draw must be bit-identical to
+// the uncached reference on the same underlying stream.
+func TestGammaIntCacheMatchesUncached(t *testing.T) {
+	a, b := New(77), New(77)
+	shapes := []int{2, 2, 256, 2, 256, 256, 7, 1, 7, 64, 64, 64, 3}
+	for round := 0; round < 50; round++ {
+		for _, k := range shapes {
+			x, y := a.GammaInt(k), gammaIntUncached(b, k)
+			if math.Float64bits(x) != math.Float64bits(y) {
+				t.Fatalf("shape %d (round %d): cached %v != uncached %v", k, round, x, y)
+			}
+		}
+	}
+}
+
 func TestGammaIntPanicsOnBadShape(t *testing.T) {
 	defer func() {
 		if recover() == nil {

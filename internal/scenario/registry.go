@@ -31,6 +31,10 @@ type Family struct {
 	// Build constructs the graph (and partition when Partitioned). The RNG
 	// is only consumed by Random families.
 	Build func(GraphSpec, *rng.RNG) (*graph.Graph, *graph.Partition, error)
+	// Implicit, when non-nil, constructs the family's implicit (index-
+	// arithmetic) representation for the sharded large-run engine. Same
+	// parameter conventions as Build; deterministic families only.
+	Implicit func(GraphSpec) (graph.Implicit, error)
 }
 
 // registry maps every name and alias to its family.
@@ -114,6 +118,9 @@ func init() {
 		Build: func(gs GraphSpec, _ *rng.RNG) (*graph.Graph, *graph.Partition, error) {
 			return graph.Dumbbell(gs.N1, gs.N2, gs.Cut)
 		},
+		Implicit: func(gs GraphSpec) (graph.Implicit, error) {
+			return graph.ImplicitDumbbell(gs.N1, gs.N2, gs.Cut)
+		},
 	})
 	register(Family{
 		Name: "planted", Aliases: []string{"planted-partition", "sbm"},
@@ -171,6 +178,13 @@ func init() {
 			}
 			return graph.RingOfCliques(gs.Blocks, m, gs.Cut)
 		},
+		Implicit: func(gs GraphSpec) (graph.Implicit, error) {
+			m := gs.N / gs.Blocks
+			if m < 1 {
+				return nil, fmt.Errorf("scenario: ringofcliques n=%d too small for %d blocks", gs.N, gs.Blocks)
+			}
+			return graph.ImplicitRingOfCliques(gs.Blocks, m, gs.Cut)
+		},
 	})
 	register(Family{
 		Name: "hierdumbbell", Aliases: []string{"hierarchical-dumbbell", "doubledumbbell"},
@@ -186,6 +200,9 @@ func init() {
 		},
 		Build: func(gs GraphSpec, _ *rng.RNG) (*graph.Graph, *graph.Partition, error) {
 			return graph.HierarchicalDumbbell(gs.N, gs.InnerCut, gs.Cut)
+		},
+		Implicit: func(gs GraphSpec) (graph.Implicit, error) {
+			return graph.ImplicitHierarchicalDumbbell(gs.N, gs.InnerCut, gs.Cut)
 		},
 	})
 	register(Family{
@@ -226,6 +243,9 @@ func init() {
 		Build: func(gs GraphSpec, _ *rng.RNG) (*graph.Graph, *graph.Partition, error) {
 			return graph.Grid(gs.Rows, gs.Cols), nil, nil
 		},
+		Implicit: func(gs GraphSpec) (graph.Implicit, error) {
+			return graph.ImplicitGrid(gs.Rows, gs.Cols)
+		},
 	})
 	register(Family{
 		Name: "torus", Brief: "2-D lattice with wraparound", Params: "rows, cols (or n)",
@@ -240,6 +260,9 @@ func init() {
 		},
 		Build: func(gs GraphSpec, _ *rng.RNG) (*graph.Graph, *graph.Partition, error) {
 			return graph.Torus(gs.Rows, gs.Cols), nil, nil
+		},
+		Implicit: func(gs GraphSpec) (graph.Implicit, error) {
+			return graph.ImplicitTorus(gs.Rows, gs.Cols)
 		},
 	})
 	register(Family{

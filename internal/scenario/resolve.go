@@ -23,9 +23,13 @@ type Resolved struct {
 	// that sweep reports embed.
 	Spec Spec
 	// Graph is the built graph; Partition its planted sparse-cut partition
-	// (nil for families without one).
+	// (nil for families without one). Both are nil on the sharded path
+	// (Stop.Shards > 0), where Implicit carries the graph instead.
 	Graph     *graph.Graph
 	Partition *graph.Partition
+	// Implicit is the index-arithmetic representation, set instead of
+	// Graph when Stop.Shards > 0 routes the run onto the sharded engine.
+	Implicit graph.Implicit
 	// X0 is the initial vector.
 	X0 []float64
 	// Rates holds per-edge clock rates, nil for the uniform rate-1 model.
@@ -75,6 +79,33 @@ func (s Spec) Resolve() (*Resolved, error) {
 	trialSeed := root.Uint64()
 	algSeed := root.Uint64()
 
+	if s.Stop.Shards > 0 {
+		// Sharded large-run path: the implicit representation replaces the
+		// materialised graph, so only index-arithmetic families, the
+		// vanilla kernel (gossip.FlatState) and uniform rate-1 clocks
+		// qualify. Stream derivation order above is unchanged — the same
+		// seed resolves to the same init vector on either path.
+		if fam.Implicit == nil {
+			return nil, fmt.Errorf("scenario: family %s has no implicit representation (shards require one of: dumbbell, ringofcliques, hierdumbbell, grid, torus)", fam.Name)
+		}
+		if s.Algo.Name != "vanilla" {
+			return nil, fmt.Errorf("scenario: sharded runs support the vanilla algorithm only, not %q", s.Algo.Name)
+		}
+		if s.Rates != "uniform" {
+			return nil, fmt.Errorf("scenario: sharded runs support uniform rates only, not %q", s.Rates)
+		}
+		ig, err := fam.Implicit(s.Graph)
+		if err != nil {
+			return nil, fmt.Errorf("scenario: building implicit %s: %w", fam.Name, err)
+		}
+		s.Graph.N = ig.NumNodes()
+		r := &Resolved{Spec: s, Implicit: ig, trialSeed: trialSeed, algSeed: algSeed}
+		if r.X0, err = buildInitImplicit(s.Init, ig, initRNG); err != nil {
+			return nil, err
+		}
+		return r, nil
+	}
+
 	g, part, err := fam.Build(s.Graph, graphRNG)
 	if err != nil {
 		return nil, fmt.Errorf("scenario: building %s: %w", fam.Name, err)
@@ -89,6 +120,30 @@ func (s Spec) Resolve() (*Resolved, error) {
 		return nil, err
 	}
 	return r, nil
+}
+
+// buildInitImplicit is buildInit for implicit graphs: "worstcase" uses
+// the planted prefix split (falling back to a spike when the family
+// plants none — no spectral detection without a materialised graph).
+func buildInitImplicit(kind string, ig graph.Implicit, r *rng.RNG) ([]float64, error) {
+	n := ig.NumNodes()
+	switch kind {
+	case "worstcase":
+		if sp := ig.SplitPoint(); sp > 0 && sp < n {
+			return gossip.CutIndicatorPrefix(n, sp), nil
+		}
+		return gossip.Spike(n, 0)
+	case "spike":
+		return gossip.Spike(n, 0)
+	case "random":
+		return gossip.UniformRandom(r, n), nil
+	case "gaussian":
+		return gossip.GaussianRandom(r, n), nil
+	case "linear":
+		return gossip.Linear(n), nil
+	default:
+		return nil, fmt.Errorf("scenario: unknown init %q (known: worstcase, spike, random, gaussian, linear)", kind)
+	}
 }
 
 // buildInit constructs the initial vector. "worstcase" prefers the
@@ -181,6 +236,15 @@ func (r *Resolved) AlgorithmRNG() *rng.RNG {
 	return rng.New(r.algSeed)
 }
 
+// NumNodes returns the resolved node count, whichever representation
+// carries the graph.
+func (r *Resolved) NumNodes() int {
+	if r.Implicit != nil {
+		return r.Implicit.NumNodes()
+	}
+	return r.Graph.NumNodes()
+}
+
 // Factory adapts NewAlgorithm to the avgtime trial-factory signature.
 func (r *Resolved) Factory() avgtime.Factory {
 	return func(_ int, rr *rng.RNG) (gossip.Algorithm, error) {
@@ -206,7 +270,7 @@ func (r *Resolved) AvgtimeConfig() avgtime.Config {
 		BatchWidth: r.Spec.Stop.BatchWidth,
 	}
 	if cfg.MaxTime == 0 {
-		cfg.MaxTime = 60 * float64(r.Graph.NumNodes())
+		cfg.MaxTime = 60 * float64(r.NumNodes())
 	}
 	if r.Monotone() {
 		cfg.MarginFactor = 1 // convex updates never re-inflate the variance
@@ -240,11 +304,19 @@ func (r *Resolved) EnsembleFactory() (avgtime.EnsembleFactory, bool) {
 
 // Estimate runs the paper's Definition-1 Monte-Carlo averaging-time
 // estimator for this scenario (censoring-aware, like internal/avgtime).
-// Scenarios whose algorithm has a replica-batched ensemble form route
-// through the bridged sim.BatchEngine — the sweep hot path; Algorithm A
-// runs the per-event tracked loop. Either way the result is a
-// deterministic function of the spec alone.
+// Scenarios resolved onto the sharded path (Stop.Shards > 0) run the
+// windowed PDES engine over the implicit graph; scenarios whose
+// algorithm has a replica-batched ensemble form route through the
+// bridged sim.BatchEngine — the sweep hot path; Algorithm A runs the
+// per-event tracked loop. Either way the result is a deterministic
+// function of the spec alone.
 func (r *Resolved) Estimate() (avgtime.Result, error) {
+	if r.Implicit != nil {
+		return avgtime.EstimateSharded(r.Implicit, r.X0, r.AvgtimeConfig(), avgtime.ShardedOptions{
+			Workers: r.Spec.Stop.Shards,
+			Window:  r.Spec.Stop.Window,
+		})
+	}
 	if factory, ok := r.EnsembleFactory(); ok {
 		return avgtime.EstimateBatched(r.Graph, r.Rates, factory, r.AvgtimeConfig())
 	}

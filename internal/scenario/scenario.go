@@ -96,6 +96,16 @@ type StopSpec struct {
 	// algorithm runs on the batched engine (0 = all trials in one batch).
 	// Memory only: the estimate is byte-identical for any width.
 	BatchWidth int `json:"batch_width,omitempty"`
+	// Shards > 0 routes the run onto the sharded PDES engine over the
+	// family's implicit representation (vanilla + uniform rates only):
+	// Shards is the worker-goroutine cap per trial. Wall-clock only: the
+	// tiling and RNG streams are fixed by the graph, so the estimate is
+	// byte-identical for any positive value.
+	Shards int `json:"shards,omitempty"`
+	// Window is the sharded engine's barrier spacing Δ (0 =
+	// sim.DefaultWindow). Unlike Shards it affects the result: tracked
+	// times resolve to within one window.
+	Window float64 `json:"window,omitempty"`
 }
 
 // Spec is a complete scenario: everything needed to reproduce one
@@ -140,6 +150,9 @@ func (s Spec) Label() string {
 	}
 	if s.Rates != "" && s.Rates != "uniform" {
 		l += "/" + s.Rates
+	}
+	if s.Stop.Shards > 0 {
+		l += fmt.Sprintf("/shards=%d", s.Stop.Shards)
 	}
 	return l
 }

@@ -266,10 +266,18 @@ func runUnit(u Unit) Cell {
 	}
 	cell.Spec = r.Spec // normalized: every default made explicit
 	cell.Label = r.Spec.Label()
-	cell.Nodes = r.Graph.NumNodes()
-	cell.Edges = r.Graph.NumEdges()
-	if r.Partition != nil {
-		cell.CutSize = r.Partition.CutSize()
+	if r.Implicit != nil {
+		// Sharded cells never materialise the graph; describe it from the
+		// implicit representation instead.
+		cell.Nodes = r.Implicit.NumNodes()
+		cell.Edges = int(r.Implicit.NumEdges())
+		cell.CutSize = len(r.Implicit.Tiling().Boundary)
+	} else {
+		cell.Nodes = r.Graph.NumNodes()
+		cell.Edges = r.Graph.NumEdges()
+		if r.Partition != nil {
+			cell.CutSize = r.Partition.CutSize()
+		}
 	}
 	res, err := r.Estimate()
 	if err != nil {

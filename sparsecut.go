@@ -21,7 +21,7 @@
 //
 // The package is a facade over the implementation packages under
 // internal/: graph substrate, event-driven Poisson simulator, spectral
-// toolkit, cut detection, averaging-time estimation, the E1–E14 experiment
+// toolkit, cut detection, averaging-time estimation, the E1–E15 experiment
 // suite, and a real message-passing runtime. Everything is stdlib-only.
 package sparsecut
 
@@ -313,6 +313,62 @@ func MeasureAveragingTimeBatched(g *Graph, factory func(replicas int, seeds []ui
 	}, cfg)
 }
 
+// Sharded million-node simulation, re-exported from internal/graph,
+// internal/gossip, internal/sim and internal/avgtime: implicit
+// index-arithmetic edge representations (no stored adjacency) tile along
+// the planted cut, and a windowed PDES engine advances the tiles'
+// independent Poisson streams in parallel — byte-identical for any
+// worker count. See DESIGN.md §13.
+type (
+	// ImplicitGraph is an index-arithmetic edge representation: O(1)
+	// memory for the structured families regardless of |E|, with int64
+	// edge ids (a 10^6-node dumbbell has ~2.5e11 edges).
+	ImplicitGraph = graph.Implicit
+	// Tiling is a cut-aware partition of an implicit graph into
+	// internally-dense tiles plus the boundary (cut) edge list.
+	Tiling = graph.Tiling
+	// FlatState is the memory-lean SoA single-replica vanilla state the
+	// sharded engine drives (~8 bytes/node retained).
+	FlatState = gossip.FlatState
+	// ShardEngine advances a tiling's tiles in bounded windows with
+	// boundary events serialized; construct with NewShardEngine.
+	ShardEngine = sim.ShardEngine
+	// ShardConfig configures NewShardEngine (worker cap, window Δ,
+	// observer). Workers is wall-clock only — never results.
+	ShardConfig = sim.ShardConfig
+	// ShardedTavOptions tunes MeasureAveragingTimeSharded beyond
+	// TavConfig (worker cap, window Δ).
+	ShardedTavOptions = avgtime.ShardedOptions
+)
+
+// NewImplicitDumbbell builds the paper's dumbbell (two n1- and n2-node
+// cliques joined by cutEdges bridge edges) as an implicit graph, without
+// materialising its edge list.
+func NewImplicitDumbbell(n1, n2, cutEdges int) (ImplicitGraph, error) {
+	return graph.ImplicitDumbbell(n1, n2, cutEdges)
+}
+
+// NewFlatState builds the sharded engine's kernel state over x0, tiled by
+// bounds (usually Tiling.Bounds()).
+func NewFlatState(x0 []float64, bounds [][2]int32) (*FlatState, error) {
+	return gossip.NewFlatState(x0, bounds)
+}
+
+// NewShardEngine builds a sharded windowed engine for til driving st,
+// seeded deterministically: results are byte-identical for any
+// cfg.Workers.
+func NewShardEngine(til *Tiling, st *FlatState, seed uint64, cfg ShardConfig) *ShardEngine {
+	return sim.NewShardEngine(til, st, rng.New(seed), cfg)
+}
+
+// MeasureAveragingTimeSharded is MeasureAveragingTime for vanilla gossip
+// on an implicit graph through the sharded engine: same Definition-1
+// statistic, resolved to within one window Δ, KS-tested against the
+// per-event oracle in internal/avgtime.
+func MeasureAveragingTimeSharded(g ImplicitGraph, x0 []float64, cfg TavConfig, opt ShardedTavOptions) (TavResult, error) {
+	return avgtime.EstimateSharded(g, x0, cfg, opt)
+}
+
 // Decentralized message-passing runtime, re-exported from internal/dist:
 // the same local rules the simulator applies centrally, run as one
 // goroutine per node exchanging messages over an explicit, optionally
@@ -555,7 +611,7 @@ func RunSweep(grid SweepGrid, cfg SweepConfig) (*SweepReport, error) {
 }
 
 // Experiment re-exports the reproduction-suite entry type (one registered
-// E1–E14 experiment).
+// E1–E15 experiment).
 type Experiment = report.Entry
 
 // ReproductionDocument re-exports the finished reproduction document
@@ -565,11 +621,11 @@ type ReproductionDocument = report.Document
 // ReproductionParams re-exports the reproduction run configuration.
 type ReproductionParams = report.Params
 
-// Experiments returns the full E1–E14 evaluation suite (see DESIGN.md §4
+// Experiments returns the full E1–E15 evaluation suite (see DESIGN.md §4
 // for the mapping to paper claims).
 func Experiments() []Experiment { return report.Entries() }
 
-// RunExperiment executes one experiment by ID ("E1".."E14"), writing its
+// RunExperiment executes one experiment by ID ("E1".."E15"), writing its
 // Markdown section (measured-vs-bound tables plus derived PASS/FAIL
 // checks) to w and returning its headline metrics. Quick mode shrinks
 // sizes for CI-grade runs.
@@ -588,7 +644,7 @@ func RunExperiment(w io.Writer, id string, quick bool, seed uint64) (map[string]
 	return sec.MetricMap(), nil
 }
 
-// GenerateReproduction runs the whole E1–E14 suite and returns the
+// GenerateReproduction runs the whole E1–E15 suite and returns the
 // bound-checked document; render it with WriteMarkdown/WriteJSON (this is
 // what cmd/repro does).
 func GenerateReproduction(p ReproductionParams) (*ReproductionDocument, error) {

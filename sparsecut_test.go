@@ -216,9 +216,48 @@ func TestBatchEngineFacade(t *testing.T) {
 	}
 }
 
+func TestShardEngineFacade(t *testing.T) {
+	g, err := NewImplicitDumbbell(24, 24, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes() != 48 {
+		t.Fatalf("n = %d", g.NumNodes())
+	}
+	x0 := make([]float64, 48)
+	for u := 0; u < 24; u++ {
+		x0[u] = 1
+	}
+	run := func(workers int) (float64, int64) {
+		st, err := NewFlatState(x0, g.Tiling().Bounds())
+		if err != nil {
+			t.Fatal(err)
+		}
+		eng := NewShardEngine(g.Tiling(), st, 7, ShardConfig{Workers: workers})
+		eng.RunUntil(0.5)
+		return st.Variance(), eng.Events()
+	}
+	v1, e1 := run(1)
+	v4, e4 := run(4)
+	if e1 == 0 {
+		t.Fatal("no events simulated")
+	}
+	if v1 != v4 || e1 != e4 {
+		t.Errorf("worker count changed results: (%v, %d) vs (%v, %d)", v1, e1, v4, e4)
+	}
+
+	res, err := MeasureAveragingTimeSharded(g, x0, TavConfig{Trials: 3, MaxTime: 1e3, MarginFactor: 1}, ShardedTavOptions{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Tav <= 0 || res.Censored != 0 {
+		t.Errorf("sharded Tav = %v (censored %d)", res.Tav, res.Censored)
+	}
+}
+
 func TestExperimentsRegistry(t *testing.T) {
 	all := Experiments()
-	if len(all) != 14 {
+	if len(all) != 15 {
 		t.Fatalf("%d experiments", len(all))
 	}
 	var buf bytes.Buffer
