@@ -13,6 +13,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -23,6 +24,7 @@ import (
 	"time"
 
 	"sparsecut/internal/avgtime"
+	"sparsecut/internal/dist"
 	"sparsecut/internal/gossip"
 	"sparsecut/internal/graph"
 	"sparsecut/internal/report"
@@ -294,6 +296,62 @@ func shardedBenches() ([]MicroBench, error) {
 	return []MicroBench{row}, nil
 }
 
+// distShardBenches times the sharded actor runtime (internal/dist) end to
+// end on a 10^5-node torus dumbbell: construction footprint plus a
+// saturated run. Timing is manual rather than testing.Benchmark — the
+// runtime paces itself in wall-clock time, so b.N calibration would
+// re-run a multi-hundred-millisecond wall-paced horizon dozens of times.
+// The short TimeScale makes the offered load (2 initiations per node per
+// unit across 10^5 nodes) exceed what the shard loops can serve, so
+// ns_per_event measures the protocol hot path, not the pacing idle.
+// Events are resolved exchange attempts plus responder commits;
+// bytes_per_node is the retained heap of graph + runtime state.
+func distShardBenches() ([]MicroBench, error) {
+	const (
+		n      = 100_000
+		cut    = 8
+		shards = 4
+	)
+	runtime.GC()
+	var m0, m1 runtime.MemStats
+	runtime.ReadMemStats(&m0)
+	g, part, err := graph.TorusDumbbell(n, cut)
+	if err != nil {
+		return nil, err
+	}
+	x0 := gossip.CutIndicator(part)
+	rt, err := dist.NewShardRuntime(g, x0, dist.NewVanillaRule(), dist.ShardRuntimeConfig{
+		ClusterConfig: dist.ClusterConfig{TimeScale: 500 * time.Millisecond, Seed: 1},
+		Shards:        shards,
+	})
+	if err != nil {
+		return nil, err
+	}
+	runtime.GC()
+	runtime.ReadMemStats(&m1)
+	var bytesPerNode float64
+	if m1.HeapAlloc > m0.HeapAlloc {
+		bytesPerNode = float64(m1.HeapAlloc-m0.HeapAlloc) / float64(n)
+	}
+
+	start := time.Now()
+	if err := rt.Run(context.Background(), 1); err != nil {
+		return nil, err
+	}
+	wall := time.Since(start)
+	events := rt.Proposed() + rt.Exchanges()
+	if events == 0 {
+		return nil, fmt.Errorf("bench: shard runtime resolved no exchanges")
+	}
+	ns := float64(wall.Nanoseconds()) / float64(events)
+	return []MicroBench{{
+		Name:         "dist/shard-100k",
+		NsPerEvent:   ns,
+		EventsPerSec: 1e9 / ns,
+		BytesPerNode: bytesPerNode,
+	}}, nil
+}
+
 // batchStreams derives one independent stream per replica, the way the
 // batched estimator does.
 func batchStreams(replicas int) []*rng.RNG {
@@ -370,7 +428,7 @@ func runExperiments(quick bool) ([]ExpTiming, error) {
 // the untracked fused simulator, the batched multi-trial estimator, and
 // the sharded million-node engine — the headline hot paths of the perf
 // stack. Sharded rows additionally gate bytes_per_node.
-var regressionRows = []string{"simulator/vanilla-fused", "avgtime/batched-trials", "sharded/dumbbell-1m"}
+var regressionRows = []string{"simulator/vanilla-fused", "avgtime/batched-trials", "sharded/dumbbell-1m", "dist/shard-100k"}
 
 // baselineFile accepts either a raw Report or a BENCH_PR<N>.json wrapper
 // whose "current" field holds one.
@@ -479,6 +537,12 @@ func main() {
 		os.Exit(1)
 	}
 	rep.Micro = append(rep.Micro, shd...)
+	dsh, err := distShardBenches()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bench:", err)
+		os.Exit(1)
+	}
+	rep.Micro = append(rep.Micro, dsh...)
 	if !*skipExperiments {
 		exps, err := runExperiments(*quick)
 		if err != nil {

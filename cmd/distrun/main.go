@@ -1,7 +1,14 @@
 // Command distrun runs one gossip-averaging workload on the *decentralized*
-// message-passing runtime — one goroutine per node, explicit transport —
-// and reports the outcome, optionally against the sequential simulator on
-// the same graph, horizon and seed.
+// message-passing runtime and reports the outcome, optionally against the
+// sequential simulator on the same graph, horizon and seed.
+//
+// Two runtimes drive the same protocol machine: the goroutine-per-node
+// Cluster (default) and the sharded actor runtime (-runtime=shard), which
+// multiplexes all nodes over -shards event loops with per-shard timer
+// wheels and batched mailboxes — the configuration that reaches 10^6
+// nodes on one box. The torusdumbbell graph family is its natural
+// companion: the dumbbell bottleneck at constant degree, so the worst
+// case materialises at millions of nodes.
 //
 // Usage:
 //
@@ -9,6 +16,12 @@
 //	distrun -graph dumbbell -n 16 -rule A -drop 0.05    -until 40 -compare
 //	distrun -graph planted  -n 60 -rule vanilla -delay 2ms -until 20
 //	distrun -graph sensor   -n 64 -cut 2 -rule A -tcp   -until 30
+//	distrun -runtime shard -shards 8 -graph torusdumbbell -n 1000000 \
+//	        -cut 8 -rule vanilla -drop 0.05 -until 0.5 -scale 4s -assert
+//
+// -assert verifies the run's invariants afterwards — exact sum
+// conservation and the exchange ledger (proposed == applied + aborted,
+// applied == committed) — and exits non-zero on any violation.
 //
 // -drop injects i.i.d. message loss, -delay random per-message latency, and
 // -tcp carries every protocol message over loopback TCP sockets. -scale
@@ -47,6 +60,7 @@ import (
 	"net/http"
 	_ "net/http/pprof"
 	"os"
+	"runtime"
 	"time"
 
 	"sparsecut"
@@ -54,7 +68,7 @@ import (
 
 func main() {
 	var (
-		graphKind = flag.String("graph", "dumbbell", "graph family: dumbbell | planted | sensor")
+		graphKind = flag.String("graph", "dumbbell", "graph family: dumbbell | torusdumbbell | planted | sensor")
 		n         = flag.Int("n", 16, "total number of nodes")
 		cutEdges  = flag.Int("cut", 1, "cut edges (dumbbell) or doors (sensor)")
 		ruleKind  = flag.String("rule", "A", "exchange rule: A | vanilla")
@@ -64,6 +78,9 @@ func main() {
 		drop      = flag.Float64("drop", 0, "message loss probability in [0,1)")
 		delay     = flag.Duration("delay", 0, "max random per-message latency (0 = none)")
 		useTCP    = flag.Bool("tcp", false, "carry messages over loopback TCP instead of in-memory channels")
+		runtimeK  = flag.String("runtime", "goroutine", "runtime: goroutine (one per node) | shard (event loops + timer wheels)")
+		shards    = flag.Int("shards", 0, "shard event loops for -runtime=shard (0 = GOMAXPROCS)")
+		assert    = flag.Bool("assert", false, "verify sum conservation and the exchange ledger after the run; exit non-zero on violation")
 		seed      = flag.Uint64("seed", 1, "random seed")
 		compare   = flag.Bool("compare", false, "also run the sequential simulator on the same workload")
 		httpAddr  = flag.String("http", "", "serve live expvar telemetry + pprof on this address (e.g. :6060) during the run")
@@ -72,6 +89,15 @@ func main() {
 		flightCap = flag.Int("flight-cap", 0, "flight-recorder ring capacity per node (0 = default)")
 	)
 	flag.Parse()
+
+	useShard := false
+	switch *runtimeK {
+	case "goroutine":
+	case "shard":
+		useShard = true
+	default:
+		fatal(fmt.Errorf("unknown runtime %q (want goroutine or shard)", *runtimeK))
+	}
 
 	g, part, err := buildGraph(*graphKind, *n, *cutEdges, *seed)
 	if err != nil {
@@ -82,7 +108,20 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	tr, desc, err := buildTransport(g, *useTCP, *drop, *delay, *seed)
+	// The sharded runtime's transport mailboxes are per shard, not per
+	// node; with no fault injection it uses its internal direct path.
+	nShards := *shards
+	if nShards <= 0 {
+		nShards = runtime.GOMAXPROCS(0)
+	}
+	if nShards > g.NumNodes() {
+		nShards = g.NumNodes()
+	}
+	addrs := g.NumNodes()
+	if useShard {
+		addrs = nShards
+	}
+	tr, desc, err := buildTransport(addrs, g.NumNodes(), useShard, *useTCP, *drop, *delay, *seed)
 	if err != nil {
 		fatal(err)
 	}
@@ -108,11 +147,19 @@ func main() {
 		// stale and nothing commits.
 		cfg.LockTimeout = 4 * *delay
 	}
-	cl, err := sparsecut.NewCluster(g, x0, rule, cfg)
+	var cl distRuntime
+	if useShard {
+		cl, err = sparsecut.NewShardRuntime(g, x0, rule, sparsecut.ShardRuntimeConfig{
+			ClusterConfig: cfg, Shards: nShards,
+		})
+	} else {
+		cl, err = sparsecut.NewCluster(g, x0, rule, cfg)
+	}
 	if err != nil {
 		fatal(err)
 	}
 	var0 := cl.Variance()
+	sum0 := sumOf(x0)
 
 	if *httpAddr != "" {
 		expvar.Publish("sparsecut", expvar.Func(func() any { return reg.Snapshot() }))
@@ -133,8 +180,13 @@ func main() {
 	fmt.Printf("partition:  %s\n", part)
 	fmt.Printf("rule:       %s\n", rule.Name())
 	fmt.Printf("transport:  %s\n", desc)
-	fmt.Printf("running:    %d node goroutines for t=%g (~%v wall)...\n",
-		g.NumNodes(), *until, (time.Duration(*until * float64(*scale))).Round(time.Millisecond))
+	if useShard {
+		fmt.Printf("running:    %d nodes on %d shard loops for t=%g (~%v wall)...\n",
+			g.NumNodes(), nShards, *until, (time.Duration(*until * float64(*scale))).Round(time.Millisecond))
+	} else {
+		fmt.Printf("running:    %d node goroutines for t=%g (~%v wall)...\n",
+			g.NumNodes(), *until, (time.Duration(*until * float64(*scale))).Round(time.Millisecond))
+	}
 	start := time.Now()
 	if err := cl.Run(context.Background(), *until); err != nil {
 		fatal(err)
@@ -143,6 +195,27 @@ func main() {
 	fmt.Printf("exchanges:  %d committed, %d aborted\n", cl.Exchanges(), cl.Aborted())
 	fmt.Printf("mean drift: %.6g\n", math.Abs(cl.Mean()))
 	fmt.Printf("var ratio:  %.6g\n", cl.Variance()/var0)
+
+	if *assert {
+		failed := false
+		report := func(name string, ok bool, detail string) {
+			status := "ok"
+			if !ok {
+				status = "VIOLATED"
+				failed = true
+			}
+			fmt.Printf("assert:     %-22s %-8s %s\n", name, status, detail)
+		}
+		drift := math.Abs(sumOf(cl.Values()) - sum0)
+		report("sum conservation", drift < 1e-6, fmt.Sprintf("|Σx - Σx0| = %.3g", drift))
+		report("ledger balanced", cl.Proposed() == cl.Applied()+cl.Aborted(),
+			fmt.Sprintf("proposed %d = applied %d + aborted %d", cl.Proposed(), cl.Applied(), cl.Aborted()))
+		report("no stale commits", cl.Applied() == cl.Exchanges(),
+			fmt.Sprintf("applied %d = committed %d", cl.Applied(), cl.Exchanges()))
+		if failed {
+			fatal(fmt.Errorf("invariant violated (see assert lines above)"))
+		}
+	}
 
 	if reg != nil {
 		snap := reg.Snapshot()
@@ -196,6 +269,8 @@ func buildGraph(kind string, n, cutEdges int, seed uint64) (*sparsecut.Graph, *s
 	switch kind {
 	case "dumbbell":
 		return sparsecut.NewDumbbell(n/2, n-n/2, cutEdges)
+	case "torusdumbbell":
+		return sparsecut.NewTorusDumbbell(n, cutEdges)
 	case "planted":
 		pOut := 3.0 / float64(n*n/4)
 		return sparsecut.NewPlantedPartition(seed, n/2, n-n/2, 0.5, pOut)
@@ -229,21 +304,31 @@ func buildSimAlgorithm(kind string, g *sparsecut.Graph, part *sparsecut.Partitio
 	}
 }
 
-func buildTransport(g *sparsecut.Graph, useTCP bool, drop float64, delay time.Duration, seed uint64) (sparsecut.Transport, string, error) {
+// buildTransport assembles the transport stack for addrs mailbox
+// addresses (one per node on the goroutine runtime, one per shard on the
+// sharded one). A sharded run with no fault injection returns a nil
+// transport: the runtime's internal direct path.
+func buildTransport(addrs, nodes int, sharded, useTCP bool, drop float64, delay time.Duration, seed uint64) (sparsecut.Transport, string, error) {
 	var tr sparsecut.Transport
 	desc := ""
-	if useTCP {
-		tcp, err := sparsecut.NewTCPTransport(g.NumNodes())
+	switch {
+	case useTCP:
+		tcp, err := sparsecut.NewTCPTransport(addrs)
 		if err != nil {
 			return nil, "", err
 		}
 		port, _ := tcp.Port(0)
 		tr = tcp
-		desc = fmt.Sprintf("loopback TCP (%d listeners, node 0 on port %d)", g.NumNodes(), port)
-	} else {
-		buf := 4 * g.NumNodes()
+		desc = fmt.Sprintf("loopback TCP (%d listeners, addr 0 on port %d)", addrs, port)
+	case sharded && drop == 0 && delay == 0:
+		return nil, "in-process direct shard mailboxes", nil
+	default:
+		buf := 4 * nodes
+		if sharded && buf > 1<<18 {
+			buf = 1 << 18 // a few mailboxes serve all nodes; cap the buffers
+		}
 		tr = sparsecut.NewChanTransport(buf)
-		desc = fmt.Sprintf("in-memory channels (buffer %d per mailbox)", buf)
+		desc = fmt.Sprintf("in-memory channels (%d mailboxes, buffer %d each)", addrs, buf)
 	}
 	if delay > 0 {
 		var err error
@@ -281,6 +366,26 @@ func newHTTPListener(addr string) (net.Listener, error) {
 		return nil, fmt.Errorf("telemetry listener on %q: %w", addr, err)
 	}
 	return ln, nil
+}
+
+// distRuntime is the surface shared by both runtimes that this CLI needs.
+type distRuntime interface {
+	Run(ctx context.Context, duration float64) error
+	Values() []float64
+	Mean() float64
+	Variance() float64
+	Exchanges() int64
+	Aborted() int64
+	Proposed() int64
+	Applied() int64
+}
+
+func sumOf(xs []float64) float64 {
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s
 }
 
 func fatal(err error) {

@@ -130,6 +130,14 @@ type Cluster struct {
 
 	exchanges atomic.Int64
 	aborted   atomic.Int64
+	// proposed and applied are the other two legs of the exchange ledger:
+	// at quiescence proposed == applied + aborted (every initiation
+	// resolved exactly one way) and applied == exchanges (every applied
+	// initiator half has a committed responder half, the no-half-exchange
+	// guarantee the settle pass enforces). cmd/distrun -assert checks
+	// both.
+	proposed  atomic.Int64
+	applied   atomic.Int64
 	crashes   atomic.Int64
 	crashLost atomic.Int64
 	// awaiting and pending count outstanding initiations and held
@@ -442,6 +450,19 @@ func (c *Cluster) Exchanges() int64 { return c.exchanges.Load() }
 // a proposal so late that the initiator gave up and refused it — such an
 // exchange commits nowhere), or dropped by the initiator's own crash.
 func (c *Cluster) Aborted() int64 { return c.aborted.Load() }
+
+// Proposed returns the number of initiation attempts (LOCKs sent with a
+// fresh seq). After a healthy run Proposed() == Applied() + Aborted() — the
+// exchange ledger cmd/distrun -assert checks. A run cut short by transport
+// death can leave initiations resolved as neither (their state is discarded
+// by the settle pass), so the ledger only balances when Run returned nil or
+// a context error.
+func (c *Cluster) Proposed() int64 { return c.proposed.Load() }
+
+// Applied returns the number of exchanges whose initiator applied its half.
+// After the settle pass this equals Exchanges(): no exchange ends
+// half-applied, even across a transport death.
+func (c *Cluster) Applied() int64 { return c.applied.Load() }
 
 // Crashes returns the number of crash events fired by the configured
 // crash schedule so far.

@@ -227,21 +227,28 @@ func (fe FlightEmitter) NetDup(m Message, nowNs int64) {
 	fe.Rec.Record(r)
 }
 
-// emitStep is the live runtime's dispatch into the shared emitter.
-func (n *node) emitStep(kind stepKind, m Message, out StepOut, pre FlightPre, nowNs int64) {
-	fe := FlightEmitter{Rec: n.cl.rec}
+// emitStepRec is the live runtimes' dispatch into the shared emitter. Both
+// the goroutine runtime and the sharded runtime route every protocol step
+// through this one function, which is what makes their flight captures
+// structurally identical (the lockstep-equivalence test pins this).
+func emitStepRec(rec *flight.Recorder, id int, kind stepKind, m Message, out StepOut, pre FlightPre, nowNs int64) {
+	fe := FlightEmitter{Rec: rec}
 	switch kind {
 	case stepDeliver:
-		fe.Deliver(n.id, m, out, pre, nowNs)
+		fe.Deliver(id, m, out, pre, nowNs)
 	case stepInitiate:
-		fe.Initiate(n.id, out, nowNs)
+		fe.Initiate(id, out, nowNs)
 	case stepTimeout:
-		fe.Timeout(n.id, out, pre, nowNs)
+		fe.Timeout(id, out, pre, nowNs)
 	case stepResend:
-		fe.Resend(n.id, pre, nowNs)
+		fe.Resend(id, pre, nowNs)
 	case stepCrash:
-		fe.Crash(n.id, out, pre, nowNs)
+		fe.Crash(id, out, pre, nowNs)
 	case stepRecover:
-		fe.Recover(n.id, nowNs)
+		fe.Recover(id, nowNs)
 	}
+}
+
+func (n *node) emitStep(kind stepKind, m Message, out StepOut, pre FlightPre, nowNs int64) {
+	emitStepRec(n.cl.rec, n.id, kind, m, out, pre, nowNs)
 }

@@ -203,9 +203,20 @@ type PendState struct {
 }
 
 // NewNodeState returns the initial protocol state of node id with value
-// x0.
+// x0. LastApplied stays nil until the first apply: nil-map reads are valid
+// and a 10^6-node sharded run would otherwise pay ~50 bytes of empty map
+// header per node that most nodes never use.
 func NewNodeState(id int, x0 float64) *NodeState {
-	return &NodeState{ID: id, X: x0, LastApplied: make(map[int]uint64)}
+	return &NodeState{ID: id, X: x0}
+}
+
+// noteApplied records the per-responder apply watermark, allocating the map
+// on first use.
+func (st *NodeState) noteApplied(responder int, seq uint64) {
+	if st.LastApplied == nil {
+		st.LastApplied = make(map[int]uint64, 1)
+	}
+	st.LastApplied[responder] = seq
 }
 
 // Locked reports whether the node is in the middle of an exchange (either
@@ -224,9 +235,11 @@ func (st *NodeState) Clone() *NodeState {
 		p := *st.Pend
 		cp.Pend = &p
 	}
-	cp.LastApplied = make(map[int]uint64, len(st.LastApplied))
-	for k, v := range st.LastApplied {
-		cp.LastApplied[k] = v
+	if st.LastApplied != nil {
+		cp.LastApplied = make(map[int]uint64, len(st.LastApplied))
+		for k, v := range st.LastApplied {
+			cp.LastApplied[k] = v
+		}
 	}
 	return &cp
 }
@@ -294,7 +307,7 @@ func (mc *Machine) Deliver(st *NodeState, m Message, nowNs int64, draining bool)
 		switch {
 		case st.Await != nil && st.Await.Seq == m.Seq && st.Await.Peer == m.From:
 			// Our current exchange: apply our half and commit.
-			st.LastApplied[m.From] = m.Seq
+			st.noteApplied(m.From, m.Seq)
 			st.X += m.X
 			out.Applied = true
 			out.LatencyNs = nowNs - st.Await.StartedNs
@@ -318,7 +331,7 @@ func (mc *Machine) Deliver(st *NodeState, m Message, nowNs int64, draining bool)
 			// so the responder rolls back. This is what guarantees a
 			// committed exchange never uses a stale initiator value.
 			if mc.Mutate == MutStaleProposalApply {
-				st.LastApplied[m.From] = m.Seq
+				st.noteApplied(m.From, m.Seq)
 				st.X += m.X
 				out.Applied = true
 				out.send(Message{Kind: MsgCommit, Re: MsgPropose, From: st.ID, To: m.From, Seq: m.Seq, Epoch: mc.Epoch})

@@ -1,6 +1,7 @@
 package dist
 
 import (
+	"fmt"
 	"math"
 	"strings"
 	"sync/atomic"
@@ -81,6 +82,56 @@ func (c *Cluster) instrument(reg *metrics.Registry) {
 		reg.CounterFunc("dist.rule.swaps", r.Swaps)
 	}
 	InstrumentTransport(reg, c.tr)
+}
+
+// instrument registers the sharded runtime's instruments on reg: the same
+// cluster-level series as Cluster.instrument (so dashboards work against
+// either runtime unchanged), plus the per-shard plane ISSUE'd for 10^6-node
+// runs — throughput and abort rate per shard loop (reading the shards'
+// single-writer counters at snapshot time) and mailbox depth per shard.
+func (rt *ShardRuntime) instrument(reg *metrics.Registry) {
+	rt.met.proposed = reg.Counter("dist.exchange.proposed")
+	reg.CounterFunc("dist.exchange.committed", rt.Exchanges)
+	reg.CounterFunc("dist.exchange.aborted", rt.Aborted)
+	reg.CounterFunc("dist.node.crashes", rt.Crashes)
+	reg.CounterFunc("dist.node.crash_lost", rt.CrashLost)
+	for _, k := range []MsgKind{MsgLock, MsgPropose, MsgNack, MsgCommit} {
+		rt.met.sent[k] = reg.Counter("dist.msg.sent." + strings.ToLower(k.String()))
+	}
+	rt.met.latency = reg.Histogram("dist.exchange.latency_ns")
+
+	rt.met.live = make([]atomic.Uint64, len(rt.values))
+	for i, v := range rt.values {
+		rt.met.live[i].Store(math.Float64bits(v))
+	}
+	var0 := liveVariance(rt.met.live)
+	reg.GaugeFunc("dist.progress.var_ratio", func() float64 {
+		if var0 == 0 {
+			return 0
+		}
+		return liveVariance(rt.met.live) / var0
+	})
+	reg.GaugeFunc("dist.progress.mean", func() float64 { return liveMean(rt.met.live) })
+
+	for _, s := range rt.shards {
+		s := s
+		prefix := fmt.Sprintf("dist.shard.%02d.", s.id)
+		reg.CounterFunc(prefix+"committed", s.committed.Load)
+		reg.CounterFunc(prefix+"aborted", s.abortedL.Load)
+		if rt.tr == nil {
+			reg.GaugeFunc(prefix+"mailbox_depth", func() float64 { return float64(s.inbox.depth()) })
+		}
+	}
+
+	if r, ok := rt.rule.(*SparseCutRule); ok {
+		reg.CounterFunc("dist.rule.ticks", r.Ticks)
+		reg.CounterFunc("dist.rule.swaps", r.Swaps)
+	}
+	if rt.tr != nil {
+		InstrumentTransport(reg, rt.tr)
+	} else {
+		reg.CounterFunc("dist.transport.congested", rt.Congested)
+	}
 }
 
 func liveMean(live []atomic.Uint64) float64 {

@@ -291,10 +291,14 @@ func (n *node) step(kind stepKind, m Message, he graph.HalfEdge, now time.Time, 
 func (n *node) applyOut(out StepOut, nowNs int64) {
 	if out.Proposed {
 		n.cl.awaiting.Add(1)
+		n.cl.proposed.Add(1)
 		n.cl.met.proposed.Inc(n.id)
 	}
 	if out.PendCreated {
 		n.cl.pending.Add(1)
+	}
+	if out.Applied {
+		n.cl.applied.Add(1)
 	}
 	if out.Applied || out.Aborted {
 		n.cl.awaiting.Add(-1)

@@ -1,0 +1,940 @@
+package dist
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"runtime"
+	"runtime/pprof"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"sparsecut/internal/flight"
+	"sparsecut/internal/graph"
+	"sparsecut/internal/rng"
+)
+
+// ShardRuntime is the M:N runtime: N nodes multiplexed over S shard event
+// loops. It drives the exact same pure Machine as the goroutine-per-node
+// Cluster — the protocol, its invariants, the model checker and the flight
+// recorder carry over unchanged — but replaces the per-node costs that cap
+// the Cluster near 10^4 nodes:
+//
+//   - one goroutine per SHARD instead of per node;
+//   - one hierarchical timer wheel per shard (wheel.go) instead of one
+//     runtime timer per node;
+//   - one batched mailbox per shard, drained a batch per loop iteration,
+//     instead of one channel per node.
+//
+// Each shard owns the contiguous node range [lo, hi): their NodeStates,
+// their clock/protocol timers, and one RNG stream. Within a shard, steps
+// are sequential — single-owner state, no locks on the protocol hot path.
+// Across shards, only messages move.
+//
+// # Delivery
+//
+// With no transport configured the runtime uses its internal direct path:
+// Send appends to the destination shard's mailbox under a short mutex (a
+// full mailbox is congestion loss, like ChanTransport). With a Transport
+// configured, cross-shard messages flow through it — transport address i
+// is SHARD i's mailbox, not node i's, and every message carries the
+// Message.Via override so Drop/Delay/TCP fault injection and multi-process
+// sharding work at 10^6 nodes without 10^6 mailboxes.
+//
+// # Timing model
+//
+// Identical to Cluster's (see node.go): node u initiates at Poisson rate
+// deg(u)/2 in simulated time, scaled by TimeScale; edge {u,v} ticks at
+// rate 1. Timer deadlines are quantised to the wheel tick
+// (ShardRuntimeConfig.TimerTick), which is chosen (and floored) to be much
+// finer than the lock timeout, so quantisation shifts deadlines by at most
+// one tick without reordering the protocol's coarse time constants.
+type ShardRuntime struct {
+	g      *graph.Graph
+	rule   Rule
+	cfg    ShardRuntimeConfig
+	tr     Transport // nil = direct path
+	values []float64
+
+	lockTimeout time.Duration
+	resendEvery time.Duration
+	timerTick   time.Duration
+	shardSize   int // nodes per shard (last shard may be smaller)
+	shards      []*shard
+
+	epoch uint64
+	mc    Machine
+	// tap mirrors Cluster.tap: when non-nil it observes every protocol
+	// event of every node (the shard lockstep-equivalence test sets it).
+	// Must be safe for concurrent use.
+	tap func(nodeEvent)
+
+	exchanges atomic.Int64
+	aborted   atomic.Int64
+	proposed  atomic.Int64
+	applied   atomic.Int64
+	crashes   atomic.Int64
+	crashLost atomic.Int64
+	congested atomic.Int64 // direct-path mailbox overflows
+	awaiting  atomic.Int64
+	pending   atomic.Int64
+
+	running atomic.Bool
+	wg      sync.WaitGroup
+
+	errMu     sync.Mutex
+	sendErr   error
+	runCancel context.CancelFunc
+
+	met clusterMetrics
+	rec *flight.Recorder
+}
+
+// ShardRuntimeConfig configures a ShardRuntime. The embedded ClusterConfig
+// fields keep their Cluster meanings, with one deliberate difference: a
+// nil Transport selects the runtime's internal direct path (shard-to-shard
+// mailboxes, the fast default for single-process runs) rather than a
+// ChanTransport. Configure a transport only to inject loss/delay or to
+// cross sockets; its address space must cover one address per SHARD.
+type ShardRuntimeConfig struct {
+	ClusterConfig
+
+	// Shards is the number of event loops. 0 = GOMAXPROCS, clamped to the
+	// node count.
+	Shards int
+	// MailboxCap is the direct path's per-shard mailbox capacity; messages
+	// beyond it are dropped as congestion loss. 0 = max(1024, 4·nodes/
+	// shards). Ignored when a Transport is configured.
+	MailboxCap int
+	// TimerTick is the wheel granularity. 0 = TimeScale/16 clamped to
+	// [50µs, 1ms]. Protocol deadlines are quantised up to the next tick.
+	TimerTick time.Duration
+}
+
+// shard is one event loop: the states, timers and mailbox of nodes
+// [lo, hi). All fields except the mailbox and the single-writer counters
+// are owned by the loop goroutine.
+type shard struct {
+	rt     *ShardRuntime
+	id     int
+	lo, hi int
+
+	states []NodeState
+	clocks []wheelTimer // one per node, kind tkClock
+	protos []wheelTimer // one per node, kind tkProto: Await XOR Pend deadline
+	crash  map[int]*shardCrash
+	r      *rng.RNG
+	w      *wheel
+
+	inbox mailbox        // direct path (rt.tr == nil)
+	recvC <-chan Message // transport path (rt.tr != nil)
+	wakeC chan struct{}
+	batch []Message
+
+	draining bool
+
+	// committed/abortedL are single-writer (this loop), atomically read by
+	// metrics snapshots: the per-shard throughput/abort breakdown.
+	committed atomic.Int64
+	abortedL  atomic.Int64
+}
+
+// shardCrash is the crash-schedule state of one node that has one; nodes
+// without crash events (the overwhelming majority) pay no per-node cost.
+type shardCrash struct {
+	spec      []CrashEvent
+	wins      []crashWindow
+	idx       int
+	crashed   bool
+	recoverAt time.Time
+	timer     wheelTimer // kind tkCrash
+}
+
+// mailbox is the direct path's batched MPSC queue: producers append under
+// a mutex, the owning shard swaps the whole backlog out in O(1) and
+// processes it as a batch. A full mailbox drops (congestion loss).
+type mailbox struct {
+	mu  sync.Mutex
+	q   []Message
+	cap int
+}
+
+func (mb *mailbox) put(m Message) bool {
+	mb.mu.Lock()
+	if len(mb.q) >= mb.cap {
+		mb.mu.Unlock()
+		return false
+	}
+	mb.q = append(mb.q, m)
+	mb.mu.Unlock()
+	return true
+}
+
+// drainSwap exchanges the queued backlog for spare (an empty buffer the
+// caller owns) and returns it — no per-message copying under the lock.
+func (mb *mailbox) drainSwap(spare []Message) []Message {
+	mb.mu.Lock()
+	q := mb.q
+	if len(q) == 0 {
+		mb.mu.Unlock()
+		return spare[:0]
+	}
+	mb.q = spare[:0]
+	mb.mu.Unlock()
+	return q
+}
+
+func (mb *mailbox) depth() int {
+	mb.mu.Lock()
+	d := len(mb.q)
+	mb.mu.Unlock()
+	return d
+}
+
+// NewShardRuntime builds a sharded runtime for rule on g with initial
+// values x0 (copied).
+func NewShardRuntime(g *graph.Graph, x0 []float64, rule Rule, cfg ShardRuntimeConfig) (*ShardRuntime, error) {
+	if g == nil || g.NumNodes() == 0 {
+		return nil, errors.New("dist: shard runtime requires a non-empty graph")
+	}
+	if g.NumEdges() == 0 {
+		return nil, fmt.Errorf("dist: %s has no edges to exchange over", g)
+	}
+	if len(x0) != g.NumNodes() {
+		return nil, fmt.Errorf("dist: %d initial values for %d nodes", len(x0), g.NumNodes())
+	}
+	if rule == nil {
+		return nil, errors.New("dist: shard runtime requires a rule")
+	}
+	if cfg.TimeScale < 0 || cfg.LockTimeout < 0 || cfg.ResendEvery < 0 || cfg.TimerTick < 0 {
+		return nil, errors.New("dist: negative durations in config")
+	}
+	if cfg.Shards < 0 || cfg.MailboxCap < 0 {
+		return nil, errors.New("dist: negative shard parameters in config")
+	}
+	if cfg.TimeScale == 0 {
+		cfg.TimeScale = 4 * time.Millisecond
+	}
+	n := g.NumNodes()
+	nShards := cfg.Shards
+	if nShards == 0 {
+		nShards = runtime.GOMAXPROCS(0)
+	}
+	if nShards > n {
+		nShards = n
+	}
+
+	rt := &ShardRuntime{
+		g:      g,
+		rule:   rule,
+		cfg:    cfg,
+		tr:     cfg.Transport,
+		values: append([]float64(nil), x0...),
+	}
+	rt.timerTick = cfg.TimerTick
+	if rt.timerTick == 0 {
+		rt.timerTick = cfg.TimeScale / 16
+		if rt.timerTick < 50*time.Microsecond {
+			rt.timerTick = 50 * time.Microsecond
+		}
+		if rt.timerTick > time.Millisecond {
+			rt.timerTick = time.Millisecond
+		}
+	}
+	rt.lockTimeout = cfg.LockTimeout
+	if rt.lockTimeout == 0 {
+		rt.lockTimeout = cfg.TimeScale / 4
+		if rt.lockTimeout < time.Millisecond {
+			rt.lockTimeout = time.Millisecond
+		}
+		// A deadline under a few ticks would time out exchanges that are
+		// merely waiting for the next wheel advance.
+		if rt.lockTimeout < 4*rt.timerTick {
+			rt.lockTimeout = 4 * rt.timerTick
+		}
+	}
+	rt.resendEvery = cfg.ResendEvery
+	if rt.resendEvery == 0 {
+		rt.resendEvery = rt.lockTimeout / 2
+		if rt.resendEvery <= 0 {
+			rt.resendEvery = rt.lockTimeout
+		}
+	}
+	rt.mc = Machine{
+		G:             g,
+		Rule:          rule,
+		LockTimeoutNs: rt.lockTimeout.Nanoseconds(),
+		ResendEveryNs: rt.resendEvery.Nanoseconds(),
+	}
+
+	// Contiguous equal ranges (the last shard takes the remainder) so that
+	// shardOf is one integer division, with no lookup table on the Send
+	// path.
+	rt.shardSize = (n + nShards - 1) / nShards
+	nShards = (n + rt.shardSize - 1) / rt.shardSize
+	mboxCap := cfg.MailboxCap
+	if mboxCap == 0 {
+		mboxCap = 4 * rt.shardSize
+		if mboxCap < 1024 {
+			mboxCap = 1024
+		}
+	}
+	root := rng.New(cfg.Seed)
+	rt.shards = make([]*shard, nShards)
+	for i := range rt.shards {
+		lo := i * rt.shardSize
+		hi := lo + rt.shardSize
+		if hi > n {
+			hi = n
+		}
+		s := &shard{
+			rt:     rt,
+			id:     i,
+			lo:     lo,
+			hi:     hi,
+			states: make([]NodeState, hi-lo),
+			clocks: make([]wheelTimer, hi-lo),
+			protos: make([]wheelTimer, hi-lo),
+			crash:  map[int]*shardCrash{},
+			r:      root.Split(),
+			wakeC:  make(chan struct{}, 1),
+		}
+		s.inbox.cap = mboxCap
+		for li := range s.states {
+			s.states[li] = NodeState{ID: lo + li, X: x0[lo+li]}
+		}
+		if rt.tr != nil {
+			recvC, err := rt.tr.Recv(i)
+			if err != nil {
+				return nil, fmt.Errorf("dist: mailbox for shard %d: %w", i, err)
+			}
+			s.recvC = recvC
+		}
+		rt.shards[i] = s
+	}
+	if err := rt.assignCrashes(cfg.Crashes); err != nil {
+		return nil, err
+	}
+	if cfg.Metrics != nil {
+		rt.instrument(cfg.Metrics)
+	}
+	if cfg.Flight != nil {
+		rt.rec = cfg.Flight
+		if rt.tr != nil {
+			instrumentTransportFlight(rt.rec, rt.tr)
+		}
+	}
+	return rt, nil
+}
+
+// shardOf returns the shard owning node abs.
+func (rt *ShardRuntime) shardOf(abs int) int { return abs / rt.shardSize }
+
+// stateOf returns node abs's state. Safe only while no shard loop runs.
+func (rt *ShardRuntime) stateOf(abs int) *NodeState {
+	s := rt.shards[rt.shardOf(abs)]
+	return &s.states[abs-s.lo]
+}
+
+// assignCrashes validates the crash schedule (same rules as Cluster) and
+// distributes each node's events to its owning shard.
+func (rt *ShardRuntime) assignCrashes(events []CrashEvent) error {
+	n := rt.g.NumNodes()
+	for _, ev := range events {
+		if ev.Node < 0 || ev.Node >= n {
+			return fmt.Errorf("dist: crash schedule names node %d outside [0,%d)", ev.Node, n)
+		}
+		if !(ev.At >= 0) || math.IsInf(ev.At, 0) {
+			return fmt.Errorf("dist: crash time %v for node %d must be non-negative and finite", ev.At, ev.Node)
+		}
+		if ev.Recover != 0 && (!(ev.Recover > ev.At) || math.IsInf(ev.Recover, 0)) {
+			return fmt.Errorf("dist: recovery time %v for node %d must exceed crash time %v (or be 0 for down-until-drain)", ev.Recover, ev.Node, ev.At)
+		}
+		s := rt.shards[rt.shardOf(ev.Node)]
+		cs := s.crash[ev.Node]
+		if cs == nil {
+			cs = &shardCrash{}
+			s.crash[ev.Node] = cs
+		}
+		cs.spec = append(cs.spec, ev)
+	}
+	for _, s := range rt.shards {
+		for abs, cs := range s.crash {
+			sort.Slice(cs.spec, func(i, j int) bool { return cs.spec[i].At < cs.spec[j].At })
+			for i := 1; i < len(cs.spec); i++ {
+				prev := cs.spec[i-1]
+				if prev.Recover == 0 || cs.spec[i].At < prev.Recover {
+					return fmt.Errorf("dist: overlapping crash windows for node %d", abs)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// Run executes the protocol for duration simulated time units, with the
+// same contract as Cluster.Run: drain to quiescence after the horizon (or
+// on ctx cancellation), settle stranded proposals on transport death, sum
+// preserved exactly, reusable afterwards.
+func (rt *ShardRuntime) Run(ctx context.Context, duration float64) error {
+	if !(duration > 0) || math.IsInf(duration, 0) {
+		return fmt.Errorf("dist: duration %v must be positive and finite", duration)
+	}
+	if duration*float64(rt.cfg.TimeScale) >= float64(math.MaxInt64) {
+		return fmt.Errorf("dist: duration %v at time scale %v exceeds the representable wall time", duration, rt.cfg.TimeScale)
+	}
+	if !rt.running.CompareAndSwap(false, true) {
+		return errors.New("dist: Run already in progress")
+	}
+	defer rt.running.Store(false)
+
+	wall := time.Duration(duration * float64(rt.cfg.TimeScale))
+	runCtx, cancel := context.WithTimeout(ctx, wall)
+	defer cancel()
+	rt.errMu.Lock()
+	rt.sendErr = nil
+	rt.runCancel = cancel
+	rt.errMu.Unlock()
+
+	drainC := make(chan struct{})
+	stopC := make(chan struct{})
+	var drainWG sync.WaitGroup
+	rt.epoch++
+	rt.mc.Epoch = rt.epoch
+	start := time.Now()
+	// Reset sequentially, launch after: a shard must never observe a
+	// peer's pre-reset state through an early message.
+	for _, s := range rt.shards {
+		s.resetForRun(start)
+	}
+	for _, s := range rt.shards {
+		rt.wg.Add(1)
+		drainWG.Add(1)
+		go func(s *shard) {
+			pprof.Do(context.Background(), pprof.Labels("dist_shard", strconv.Itoa(s.id)), func(context.Context) {
+				s.loop(drainC, stopC, &drainWG)
+			})
+		}(s)
+	}
+
+	<-runCtx.Done()
+
+	// Drain: same stable-quiescence argument as Cluster.Run — once every
+	// shard acknowledged the drain signal nothing initiates or proposes
+	// again, so awaiting+pending is monotone and zero is final.
+	close(drainC)
+	drainWG.Wait()
+	for rt.awaiting.Load() != 0 || rt.pending.Load() != 0 {
+		if rt.sendFailed() {
+			break
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+	close(stopC)
+	rt.wg.Wait()
+
+	// Settle proposals stranded by a failed transport, the same way the
+	// initiator already decided (see Cluster.Run). All shard loops have
+	// exited, so cross-shard state reads are safe.
+	for _, s := range rt.shards {
+		for li := range s.states {
+			st := &s.states[li]
+			if st.Pend != nil {
+				init := rt.stateOf(st.Pend.Msg.To)
+				if init.LastApplied[st.ID] >= st.Pend.Msg.Seq {
+					st.X -= st.Pend.Msg.X
+					rt.exchanges.Add(1)
+					s.committed.Add(1)
+					rt.met.publish(st.ID, st.X)
+				}
+				st.Pend = nil
+			}
+			st.Await = nil
+		}
+	}
+	rt.awaiting.Store(0)
+	rt.pending.Store(0)
+
+	for _, s := range rt.shards {
+		for li := range s.states {
+			rt.values[s.lo+li] = s.states[li].X
+		}
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	rt.errMu.Lock()
+	defer rt.errMu.Unlock()
+	return rt.sendErr
+}
+
+func (rt *ShardRuntime) noteSendErr(err error) {
+	rt.errMu.Lock()
+	if rt.sendErr == nil {
+		rt.sendErr = &SendError{Err: err}
+		if rt.runCancel != nil {
+			rt.runCancel()
+		}
+	}
+	rt.errMu.Unlock()
+}
+
+func (rt *ShardRuntime) sendFailed() bool {
+	rt.errMu.Lock()
+	defer rt.errMu.Unlock()
+	return rt.sendErr != nil
+}
+
+// resetForRun reinstalls the run's initial values, rebuilds the wheel and
+// re-arms every clock and crash timer. Called by Run, before the loop
+// goroutines start.
+func (s *shard) resetForRun(start time.Time) {
+	rt := s.rt
+	s.draining = false
+	s.w = newWheel(rt.timerTick.Nanoseconds(), start.UnixNano())
+	for li := range s.states {
+		st := &s.states[li]
+		st.X = rt.values[s.lo+li]
+		st.Await, st.Pend = nil, nil
+		s.clocks[li] = wheelTimer{node: int32(s.lo + li), kind: tkClock}
+		s.protos[li] = wheelTimer{node: int32(s.lo + li), kind: tkProto}
+		s.scheduleClock(li, start)
+	}
+	for abs, cs := range s.crash {
+		cs.idx = 0
+		cs.crashed = false
+		cs.recoverAt = time.Time{}
+		cs.wins = cs.wins[:0]
+		for _, ev := range cs.spec {
+			w := crashWindow{at: start.Add(time.Duration(ev.At * float64(rt.cfg.TimeScale)))}
+			if ev.Recover > 0 {
+				w.until = start.Add(time.Duration(ev.Recover * float64(rt.cfg.TimeScale)))
+			}
+			cs.wins = append(cs.wins, w)
+		}
+		cs.timer = wheelTimer{node: int32(abs), kind: tkCrash}
+		if len(cs.wins) > 0 {
+			s.w.schedule(&cs.timer, cs.wins[0].at.UnixNano())
+		}
+	}
+}
+
+// scheduleClock draws node lo+li's next Poisson fire, exactly as
+// node.scheduleNext: an Exp(deg/2) gap in simulated time, scaled to wall
+// time. (The draw comes from the shard's stream rather than a per-node
+// one; the gap distribution is identical.)
+func (s *shard) scheduleClock(li int, now time.Time) {
+	deg := s.rt.g.Degree(graph.NodeID(s.lo + li))
+	if deg == 0 {
+		return
+	}
+	gap := s.r.ExpFloat64(float64(deg)/2) * float64(s.rt.cfg.TimeScale)
+	s.w.schedule(&s.clocks[li], now.Add(time.Duration(gap)).UnixNano())
+}
+
+// loop is the shard body: drain a batch of messages, advance the wheel,
+// then sleep until woken by a producer, the next tick, or shutdown.
+func (s *shard) loop(drainC, stopC <-chan struct{}, drainWG *sync.WaitGroup) {
+	defer s.rt.wg.Done()
+	tick := time.NewTimer(s.rt.timerTick)
+	defer tick.Stop()
+	for {
+		busy := s.drainMessages() > 0
+		s.w.advance(time.Now().UnixNano(), s.fire)
+
+		// Control signals are polled every iteration so a saturated shard
+		// still acknowledges drain/stop promptly.
+		select {
+		case <-stopC:
+			return
+		case <-drainC:
+			s.enterDrain(time.Now())
+			drainC = nil
+			drainWG.Done()
+			continue
+		default:
+		}
+		if busy {
+			continue
+		}
+
+		if !tick.Stop() {
+			select {
+			case <-tick.C:
+			default:
+			}
+		}
+		tick.Reset(s.rt.timerTick)
+		select {
+		case <-stopC:
+			return
+		case <-drainC:
+			s.enterDrain(time.Now())
+			drainC = nil
+			drainWG.Done()
+		case m, ok := <-s.recvC: // nil (blocks forever) on the direct path
+			if ok {
+				s.deliver(m, time.Now())
+			} else {
+				s.recvC = nil // transport gone; rely on wake/tick
+			}
+		case <-s.wakeC:
+		case <-tick.C:
+		}
+	}
+}
+
+// drainMessages processes one bounded batch from the shard's source and
+// returns how many messages it handled.
+func (s *shard) drainMessages() int {
+	const maxBatch = 4096
+	now := time.Now()
+	if s.recvC != nil {
+		n := 0
+		for n < maxBatch {
+			select {
+			case m := <-s.recvC:
+				s.deliver(m, now)
+				n++
+			default:
+				return n
+			}
+		}
+		return n
+	}
+	s.batch = s.inbox.drainSwap(s.batch)
+	for _, m := range s.batch {
+		s.deliver(m, now)
+	}
+	return len(s.batch)
+}
+
+// deliver routes one incoming message to its node.
+func (s *shard) deliver(m Message, now time.Time) {
+	abs := m.To
+	if abs < s.lo || abs >= s.hi {
+		return // misrouted (stale Via from a different configuration); drop
+	}
+	if cs := s.crash[abs]; cs != nil && cs.crashed {
+		s.rt.crashLost.Add(1)
+		recordNetDrop(s.rt.rec, m, abs, flight.ReasonDead)
+		return
+	}
+	s.step(abs, stepDeliver, m, graph.HalfEdge{}, now)
+}
+
+// fire dispatches one expired wheel timer.
+func (s *shard) fire(t *wheelTimer) {
+	abs := int(t.node)
+	now := time.Now()
+	switch t.kind {
+	case tkClock:
+		s.fireClock(abs, now)
+	case tkProto:
+		s.fireProto(abs, now)
+	case tkCrash:
+		s.fireCrash(abs, now)
+	}
+}
+
+func (s *shard) fireClock(abs int, now time.Time) {
+	if s.draining {
+		return // drain cancelled the clocks; a stray fire re-arms nothing
+	}
+	li := abs - s.lo
+	if !s.states[li].Locked() {
+		adj := s.rt.g.Neighbors(graph.NodeID(abs))
+		s.step(abs, stepInitiate, Message{}, adj[s.r.Intn(len(adj))], now)
+	}
+	// A fire while locked is skipped but the clock keeps running, exactly
+	// like node.onTimer.
+	s.scheduleClock(li, now)
+}
+
+// fireProto services a node's protocol deadline. Await and Pend are
+// mutually exclusive (an initiator is never simultaneously a responder
+// holding a proposal — Machine refuses LOCKs while locked), so one timer
+// per node covers both; armProto keeps it pointed at whichever is live.
+func (s *shard) fireProto(abs int, now time.Time) {
+	li := abs - s.lo
+	st := &s.states[li]
+	nowNs := now.UnixNano()
+	if st.Await != nil && nowNs >= st.Await.DeadlineNs {
+		s.step(abs, stepTimeout, Message{}, graph.HalfEdge{}, now)
+	}
+	if st.Pend != nil && nowNs >= st.Pend.ResendNs {
+		s.step(abs, stepResend, Message{}, graph.HalfEdge{}, now)
+	}
+	// Quantisation can fire a slot before the deadline's sub-tick offset;
+	// re-arm for the next tick in that case (armProto is idempotent).
+	s.armProto(li)
+}
+
+func (s *shard) fireCrash(abs int, now time.Time) {
+	cs := s.crash[abs]
+	if cs == nil || s.draining {
+		return
+	}
+	if cs.crashed {
+		if cs.recoverAt.IsZero() {
+			return // down until drain
+		}
+		if now.Before(cs.recoverAt) {
+			s.w.schedule(&cs.timer, cs.recoverAt.UnixNano())
+			return
+		}
+		s.recoverNode(abs, cs, now)
+		return
+	}
+	if cs.idx >= len(cs.wins) {
+		return
+	}
+	if now.Before(cs.wins[cs.idx].at) {
+		s.w.schedule(&cs.timer, cs.wins[cs.idx].at.UnixNano())
+		return
+	}
+	s.crashNode(abs, cs, now)
+}
+
+func (s *shard) crashNode(abs int, cs *shardCrash, now time.Time) {
+	li := abs - s.lo
+	cs.crashed = true
+	cs.recoverAt = cs.wins[cs.idx].until
+	cs.idx++
+	s.rt.crashes.Add(1)
+	s.step(abs, stepCrash, Message{}, graph.HalfEdge{}, now)
+	// A dead node fires no timers; its one deadline is recovery.
+	s.w.cancel(&s.clocks[li])
+	s.w.cancel(&s.protos[li])
+	if !cs.recoverAt.IsZero() {
+		s.w.schedule(&cs.timer, cs.recoverAt.UnixNano())
+	}
+}
+
+func (s *shard) recoverNode(abs int, cs *shardCrash, now time.Time) {
+	li := abs - s.lo
+	cs.crashed = false
+	cs.recoverAt = time.Time{}
+	s.step(abs, stepRecover, Message{}, graph.HalfEdge{}, now)
+	if !s.draining {
+		s.scheduleClock(li, now)
+		if cs.idx < len(cs.wins) {
+			s.w.schedule(&cs.timer, cs.wins[cs.idx].at.UnixNano())
+		}
+	}
+}
+
+// enterDrain mirrors the node loop's drain transition: stop initiating,
+// cancel remaining crash windows, force-recover down nodes so every held
+// proposal can resolve.
+func (s *shard) enterDrain(now time.Time) {
+	s.draining = true
+	for li := range s.clocks {
+		s.w.cancel(&s.clocks[li])
+	}
+	for abs, cs := range s.crash {
+		cs.idx = len(cs.wins)
+		s.w.cancel(&cs.timer)
+		if cs.crashed {
+			s.recoverNode(abs, cs, now)
+		}
+	}
+}
+
+// step feeds one protocol event to the pure machine and routes its effects
+// — the same sequence as node.step, so the lockstep tap and the flight
+// emitter observe identical streams from either runtime.
+func (s *shard) step(abs int, kind stepKind, m Message, he graph.HalfEdge, now time.Time) {
+	rt := s.rt
+	li := abs - s.lo
+	st := &s.states[li]
+	nowNs := now.UnixNano()
+	var pre FlightPre
+	if rt.rec != nil {
+		pre = FlightPreOf(st)
+	}
+	var out StepOut
+	switch kind {
+	case stepDeliver:
+		out = rt.mc.Deliver(st, m, nowNs, s.draining)
+	case stepInitiate:
+		out = rt.mc.Initiate(st, he, nowNs)
+	case stepTimeout:
+		out = rt.mc.TimeoutAwait(st)
+	case stepResend:
+		out = rt.mc.Resend(st, nowNs)
+	case stepCrash:
+		out = rt.mc.Crash(st)
+	case stepRecover:
+		out = rt.mc.Recover(st, nowNs)
+	}
+	if tap := rt.tap; tap != nil {
+		tap(nodeEvent{node: abs, kind: kind, msg: m, he: he, nowNs: nowNs, draining: s.draining, out: out})
+	}
+	if rt.rec != nil {
+		emitStepRec(rt.rec, abs, kind, m, out, pre, nowNs)
+	}
+	s.applyOut(st, out, nowNs)
+	s.armProto(li)
+}
+
+// armProto points the node's protocol timer at its live deadline (Await
+// timeout or Pend resend), or cancels it when the node is unlocked.
+func (s *shard) armProto(li int) {
+	st := &s.states[li]
+	t := &s.protos[li]
+	var when int64
+	switch {
+	case st.Await != nil:
+		when = st.Await.DeadlineNs
+	case st.Pend != nil:
+		when = st.Pend.ResendNs
+	default:
+		s.w.cancel(t)
+		return
+	}
+	if !t.scheduledIn() || t.when != when {
+		s.w.schedule(t, when)
+	}
+}
+
+// applyOut folds a StepOut into the runtime's counters and telemetry and
+// sends its messages (node.applyOut, with per-shard breakdowns added).
+func (s *shard) applyOut(st *NodeState, out StepOut, nowNs int64) {
+	rt := s.rt
+	if out.Proposed {
+		rt.awaiting.Add(1)
+		rt.proposed.Add(1)
+		rt.met.proposed.Inc(s.id)
+	}
+	if out.PendCreated {
+		rt.pending.Add(1)
+	}
+	if out.Applied {
+		rt.applied.Add(1)
+	}
+	if out.Applied || out.Aborted {
+		rt.awaiting.Add(-1)
+	}
+	if out.Aborted {
+		rt.aborted.Add(1)
+		s.abortedL.Add(1)
+	}
+	if out.Committed || out.PendDropped {
+		rt.pending.Add(-1)
+	}
+	if out.Committed {
+		rt.exchanges.Add(1)
+		s.committed.Add(1)
+	}
+	if out.Applied || out.Committed {
+		rt.met.publish(st.ID, st.X)
+	}
+	if out.Applied && out.LatencyNs >= 0 {
+		if h := rt.met.latency; h != nil {
+			h.Observe(out.LatencyNs)
+		}
+	}
+	for _, m := range out.Send {
+		s.send(m, nowNs)
+	}
+}
+
+// send routes one outgoing message: into the destination shard's mailbox
+// on the direct path, or through the transport (Via-stamped with the
+// destination shard) otherwise.
+func (s *shard) send(m Message, nowNs int64) {
+	rt := s.rt
+	rt.met.sent[m.Kind].Inc(s.id)
+	if rec := rt.rec; rec != nil {
+		rec.Record(msgRecord(flight.EvSend, m, m.From, nowNs))
+	}
+	if rt.tr != nil {
+		m.Via = rt.shardOf(m.To) + 1
+		if err := rt.tr.Send(m); err != nil {
+			rt.noteSendErr(err)
+		}
+		return
+	}
+	d := rt.shards[rt.shardOf(m.To)]
+	if !d.inbox.put(m) {
+		rt.congested.Add(1)
+		recordNetDrop(rt.rec, m, m.From, flight.ReasonCongestion)
+		return
+	}
+	select {
+	case d.wakeC <- struct{}{}:
+	default:
+	}
+}
+
+// Graph returns the runtime's graph.
+func (rt *ShardRuntime) Graph() *graph.Graph { return rt.g }
+
+// Rule returns the exchange rule in use.
+func (rt *ShardRuntime) Rule() Rule { return rt.rule }
+
+// Shards returns the number of shard event loops.
+func (rt *ShardRuntime) Shards() int { return len(rt.shards) }
+
+// Values returns a copy of the current value vector.
+func (rt *ShardRuntime) Values() []float64 {
+	return append([]float64(nil), rt.values...)
+}
+
+// Mean returns the current average value (invariant up to float rounding,
+// as for Cluster).
+func (rt *ShardRuntime) Mean() float64 {
+	if len(rt.values) == 0 {
+		return math.NaN()
+	}
+	s := 0.0
+	for _, v := range rt.values {
+		s += v
+	}
+	return s / float64(len(rt.values))
+}
+
+// Variance returns the paper's varX of the current values.
+func (rt *ShardRuntime) Variance() float64 {
+	n := float64(len(rt.values))
+	if n == 0 {
+		return 0
+	}
+	m := rt.Mean()
+	s := 0.0
+	for _, v := range rt.values {
+		d := v - m
+		s += d * d
+	}
+	return s / n
+}
+
+// Exchanges returns the number of committed exchanges.
+func (rt *ShardRuntime) Exchanges() int64 { return rt.exchanges.Load() }
+
+// Aborted returns the number of aborted initiation attempts.
+func (rt *ShardRuntime) Aborted() int64 { return rt.aborted.Load() }
+
+// Proposed returns the number of initiation attempts; see Cluster.Proposed
+// for the ledger this anchors.
+func (rt *ShardRuntime) Proposed() int64 { return rt.proposed.Load() }
+
+// Applied returns the number of initiator-half applies; equals Exchanges()
+// after a settled run.
+func (rt *ShardRuntime) Applied() int64 { return rt.applied.Load() }
+
+// Crashes returns the number of crash events fired so far.
+func (rt *ShardRuntime) Crashes() int64 { return rt.crashes.Load() }
+
+// CrashLost returns the number of messages lost to dead destinations.
+func (rt *ShardRuntime) CrashLost() int64 { return rt.crashLost.Load() }
+
+// Congested returns the number of direct-path messages dropped because the
+// destination shard's mailbox was full (always 0 with a Transport, which
+// does its own congestion accounting).
+func (rt *ShardRuntime) Congested() int64 { return rt.congested.Load() }

@@ -12,11 +12,17 @@ import (
 )
 
 // TCPTransport carries protocol messages over loopback TCP: one listener
-// per address, gob-encoded Messages on persistent connections. It exists so
-// the runtime can be exercised over a real socket stack (examples/cluster
-// -tcp) rather than only over in-process channels; it is not a
-// wide-area-network transport.
+// per address, length-prefixed binary frames (wire.go) on persistent
+// connections. It exists so the runtime can be exercised over a real socket
+// stack (examples/cluster -tcp) rather than only over in-process channels;
+// it is not a wide-area-network transport.
+//
+// Each outbound connection opens with a version byte, and the accepting
+// side picks its decoder per connection from that byte, so binary-codec and
+// legacy gob-codec processes interoperate: the codec choice only governs
+// what this transport's own dials speak.
 type TCPTransport struct {
+	codec     WireCodec
 	listeners []net.Listener
 	ports     []int
 	boxes     []chan Message
@@ -62,19 +68,32 @@ func (cr *countReader) Read(p []byte) (int, error) {
 type tcpConn struct {
 	mu  sync.Mutex
 	c   net.Conn
-	enc *gob.Encoder
+	w   io.Writer    // byte-counted connection writer
+	enc *gob.Encoder // WireGob only
+	buf []byte       // WireBinary frame scratch, reused under mu
 }
 
 var _ Transport = (*TCPTransport)(nil)
 
 // NewTCPTransport opens addrs loopback listeners on ephemeral ports, one
 // per address 0..addrs-1, and returns a transport routing Send(m) to the
-// listener of m.To over a cached connection.
+// listener of its mailbox address over a cached connection. Outbound
+// connections speak the binary codec; use NewTCPTransportCodec for gob.
 func NewTCPTransport(addrs int) (*TCPTransport, error) {
+	return NewTCPTransportCodec(addrs, WireBinary)
+}
+
+// NewTCPTransportCodec is NewTCPTransport with an explicit outbound wire
+// codec (the accept side always auto-detects per connection).
+func NewTCPTransportCodec(addrs int, codec WireCodec) (*TCPTransport, error) {
 	if addrs <= 0 {
 		return nil, fmt.Errorf("dist: TCP transport needs a positive address count, got %d", addrs)
 	}
+	if codec != WireBinary && codec != WireGob {
+		return nil, fmt.Errorf("dist: unknown wire codec %v", codec)
+	}
 	t := &TCPTransport{
+		codec:     codec,
 		listeners: make([]net.Listener, addrs),
 		ports:     make([]int, addrs),
 		boxes:     make([]chan Message, addrs),
@@ -125,10 +144,32 @@ func (t *TCPTransport) serve(addr int, c net.Conn) {
 		t.mu.Unlock()
 		_ = c.Close()
 	}()
-	dec := gob.NewDecoder(&countReader{r: c, n: &t.bytesIn})
+	cr := &countReader{r: c, n: &t.bytesIn}
+	// The dialer's first byte picks this connection's decoder; an unknown
+	// version byte (including a legacy peer that skips it) kills the
+	// connection rather than guessing at the stream format.
+	var version [1]byte
+	if _, err := io.ReadFull(cr, version[:]); err != nil {
+		return
+	}
+	var next func() (Message, error)
+	switch version[0] {
+	case wireVersionBinary:
+		wr := newWireReader(cr)
+		next = wr.readMessage
+	case wireVersionGob:
+		dec := gob.NewDecoder(cr)
+		next = func() (Message, error) {
+			var m Message
+			err := dec.Decode(&m)
+			return m, err
+		}
+	default:
+		return
+	}
 	for {
-		var m Message
-		if err := dec.Decode(&m); err != nil {
+		m, err := next()
+		if err != nil {
 			return
 		}
 		select {
@@ -152,8 +193,7 @@ func (t *TCPTransport) serve(addr int, c net.Conn) {
 // destination mailbox was full.
 func (t *TCPTransport) Congested() int64 { return t.congested.Load() }
 
-// BytesOut returns the total gob-encoded bytes written to outbound
-// connections.
+// BytesOut returns the total wire bytes written to outbound connections.
 func (t *TCPTransport) BytesOut() int64 { return t.bytesOut.Load() }
 
 // BytesIn returns the total bytes read off accepted connections.
@@ -200,32 +240,55 @@ func (t *TCPTransport) conn(to int) (*tcpConn, error) {
 		_ = c.Close()
 		return oc, nil
 	}
-	oc := &tcpConn{c: c, enc: gob.NewEncoder(&countWriter{w: c, n: &t.bytesOut})}
+	cw := &countWriter{w: c, n: &t.bytesOut}
+	oc := &tcpConn{c: c, w: cw}
+	// The version byte is the first thing on the wire; writing it here,
+	// before the connection is published in t.outbound, means no Send can
+	// race ahead of it.
+	switch t.codec {
+	case WireGob:
+		if _, err := cw.Write([]byte{wireVersionGob}); err != nil {
+			_ = c.Close()
+			return nil, fmt.Errorf("dist: handshaking address %d: %w", to, err)
+		}
+		oc.enc = gob.NewEncoder(cw)
+	default:
+		if _, err := cw.Write([]byte{wireVersionBinary}); err != nil {
+			_ = c.Close()
+			return nil, fmt.Errorf("dist: handshaking address %d: %w", to, err)
+		}
+	}
 	t.outbound[to] = oc
 	return oc, nil
 }
 
 // Send implements Transport.
 func (t *TCPTransport) Send(m Message) error {
-	oc, err := t.conn(m.To)
+	addr := mailboxAddr(m)
+	oc, err := t.conn(addr)
 	if err != nil {
 		return err
 	}
 	oc.mu.Lock()
-	err = oc.enc.Encode(m)
+	if oc.enc != nil {
+		err = oc.enc.Encode(m)
+	} else {
+		oc.buf = appendMessage(oc.buf[:0], m)
+		_, err = oc.w.Write(oc.buf)
+	}
 	oc.mu.Unlock()
 	if err != nil {
 		// Drop the broken connection so a later Send re-dials.
 		t.mu.Lock()
-		if t.outbound[m.To] == oc {
-			delete(t.outbound, m.To)
+		if t.outbound[addr] == oc {
+			delete(t.outbound, addr)
 		}
 		t.mu.Unlock()
 		_ = oc.c.Close()
 		if t.isClosed() {
 			return ErrClosed
 		}
-		return fmt.Errorf("dist: sending to address %d: %w", m.To, err)
+		return fmt.Errorf("dist: sending to address %d: %w", addr, err)
 	}
 	return nil
 }

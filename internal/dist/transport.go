@@ -55,8 +55,17 @@ func (k MsgKind) String() string {
 // may serialise messages (the TCP transport uses encoding/gob).
 type Message struct {
 	Kind MsgKind
-	// From and To are transport addresses; the cluster uses node IDs.
+	// From and To are protocol endpoints; the cluster uses node IDs.
 	From, To int
+	// Via, when non-zero, overrides the transport mailbox the message is
+	// delivered to: mailbox Via-1 instead of mailbox To. The sharded
+	// runtime sets it so that S shard mailboxes can serve N >> S nodes
+	// over unmodified transports — the shard that owns node To drains
+	// mailbox Via-1 and dispatches on To itself. Zero (the goroutine
+	// runtime, and all pre-existing traffic) keeps the one-mailbox-per-
+	// node routing. The offset-by-one encoding keeps the zero value
+	// meaningful and mailbox 0 addressable.
+	Via int
 	// Epoch is the cluster run that produced the message. Receivers drop
 	// messages from older runs: a stale LOCK must not start an exchange
 	// against a previous run's value snapshot, and every exchange of a
@@ -82,6 +91,17 @@ type Message struct {
 	X float64
 }
 
+// mailboxAddr is the transport mailbox m is delivered to: the Via
+// override when set, the destination node otherwise. Every transport
+// routes on this so the sharded runtime's S-mailboxes-for-N-nodes scheme
+// works uniformly across Chan/Drop/Delay/TCP.
+func mailboxAddr(m Message) int {
+	if m.Via > 0 {
+		return m.Via - 1
+	}
+	return m.To
+}
+
 // ErrClosed is returned by Send on a transport that has been closed.
 var ErrClosed = errors.New("dist: transport closed")
 
@@ -92,7 +112,8 @@ var ErrClosed = errors.New("dist: transport closed")
 // protocol tolerates loss and reordering, and generates its own duplicates
 // (proposal retransmission) which receivers deduplicate.
 type Transport interface {
-	// Send delivers m to mailbox m.To, or drops it (congestion is loss,
+	// Send delivers m to its mailbox (m.To, or m.Via-1 when the Via
+	// routing override is set), or drops it (congestion is loss,
 	// as on a real network — a blocking Send could deadlock two actors
 	// with mutually full mailboxes). Send must not block indefinitely.
 	Send(m Message) error
@@ -151,7 +172,7 @@ func (t *ChanTransport) box(addr int) chan Message {
 // mailboxes deadlock, whereas the exchange protocol already recovers from
 // loss of any message kind.
 func (t *ChanTransport) Send(m Message) error {
-	box := t.box(m.To)
+	box := t.box(mailboxAddr(m))
 	select {
 	case <-t.closed:
 		return ErrClosed

@@ -1,0 +1,282 @@
+package dist
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// mkTimers returns n detached timers with node ids 0..n-1.
+func mkTimers(n int) []wheelTimer {
+	ts := make([]wheelTimer, n)
+	for i := range ts {
+		ts[i].node = int32(i)
+	}
+	return ts
+}
+
+// TestWheelZeroDelay: a timer scheduled for the past or the current tick
+// must not fire inside schedule, and must fire on the very next advance.
+func TestWheelZeroDelay(t *testing.T) {
+	const tick = 100
+	w := newWheel(tick, 5000)
+	ts := mkTimers(3)
+
+	w.schedule(&ts[0], 0)       // far past
+	w.schedule(&ts[1], 5000)    // current tick
+	w.schedule(&ts[2], 5000+50) // sub-tick future: same slot as "now"
+	if w.pending != 3 {
+		t.Fatalf("pending = %d, want 3", w.pending)
+	}
+
+	var fired []int32
+	w.advance(5000, func(wt *wheelTimer) { fired = append(fired, wt.node) })
+	if len(fired) != 0 {
+		t.Fatalf("advance(now) fired %v; zero-delay timers must wait for the next tick", fired)
+	}
+
+	w.advance(5000+tick, func(wt *wheelTimer) { fired = append(fired, wt.node) })
+	if len(fired) != 3 {
+		t.Fatalf("after one tick fired %v, want all 3", fired)
+	}
+	if w.pending != 0 {
+		t.Fatalf("pending = %d after firing, want 0", w.pending)
+	}
+}
+
+// TestWheelSameTickFIFO: timers due in the same tick fire in the order they
+// were scheduled, regardless of sub-tick deadline ordering.
+func TestWheelSameTickFIFO(t *testing.T) {
+	const tick = 1000
+	w := newWheel(tick, 0)
+	ts := mkTimers(4)
+
+	// All land in slot 7; scheduled in order 2, 0, 3, 1 with deliberately
+	// non-monotonic sub-tick offsets.
+	w.schedule(&ts[2], 7*tick+900)
+	w.schedule(&ts[0], 7*tick+100)
+	w.schedule(&ts[3], 7*tick+500)
+	w.schedule(&ts[1], 7*tick)
+
+	var fired []int32
+	w.advance(8*tick, func(wt *wheelTimer) { fired = append(fired, wt.node) })
+	want := []int32{2, 0, 3, 1}
+	if len(fired) != len(want) {
+		t.Fatalf("fired %v, want %v", fired, want)
+	}
+	for i := range want {
+		if fired[i] != want[i] {
+			t.Fatalf("fired %v, want FIFO order %v", fired, want)
+		}
+	}
+}
+
+// TestWheelCascade: timers far enough out to land in levels 1, 2 and the
+// overflow list must cascade down and fire at exactly their due slot.
+func TestWheelCascade(t *testing.T) {
+	const tick = 10
+	w := newWheel(tick, 0)
+
+	deltas := []int64{
+		1,                             // level 0
+		wheelSlots - 1,                // last level-0 slot
+		wheelSlots,                    // first level-1 slot
+		3*wheelSlots + 17,             // level 1
+		wheelSlots*wheelSlots - 1,     // last level-1 slot
+		wheelSlots * wheelSlots,       // first level-2 slot
+		2*wheelSlots*wheelSlots + 123, // level 2
+	}
+	ts := mkTimers(len(deltas))
+	for i, d := range deltas {
+		w.schedule(&ts[i], d*tick)
+	}
+
+	firedAt := make(map[int32]int64)
+	// Advance in coarse jumps to force multi-slot catch-up work.
+	var now int64
+	last := deltas[len(deltas)-1] * tick
+	for now < last+tick {
+		now += 997 * tick
+		w.advance(now, func(wt *wheelTimer) { firedAt[wt.node] = w.cur })
+	}
+	for i, d := range deltas {
+		got, ok := firedAt[int32(i)]
+		if !ok {
+			t.Fatalf("timer %d (delta %d slots) never fired", i, d)
+		}
+		if got != d {
+			t.Errorf("timer %d fired at slot %d, want %d", i, got, d)
+		}
+	}
+	if w.pending != 0 {
+		t.Fatalf("pending = %d, want 0", w.pending)
+	}
+}
+
+// TestWheelOverflow: a deadline beyond level 2's span sits in the overflow
+// list and still fires at its due slot after repeated rechecks.
+func TestWheelOverflow(t *testing.T) {
+	const tick = 1
+	w := newWheel(tick, 0)
+	var wt wheelTimer
+	const span = int64(wheelSlots) * wheelSlots * wheelSlots
+	due := span + 5*int64(wheelSlots)*wheelSlots // past level 2's span
+	w.schedule(&wt, due*tick)
+
+	var firedSlot int64 = -1
+	// Jump straight past the deadline in two big advances.
+	w.advance((span/2)*tick, func(*wheelTimer) { t.Fatal("fired early") })
+	w.advance((due+10)*tick, func(*wheelTimer) { firedSlot = w.cur })
+	if firedSlot != due {
+		t.Fatalf("overflow timer fired at slot %d, want %d", firedSlot, due)
+	}
+}
+
+// TestWheelWraparoundSoak: random deadlines across many wheel rotations
+// fire exactly once each, at their due slot, in non-decreasing slot order.
+func TestWheelWraparoundSoak(t *testing.T) {
+	const tick = 10
+	r := rand.New(rand.NewSource(42))
+	w := newWheel(tick, 123456) // non-zero epoch: cur starts mid-rotation
+	base := w.cur
+
+	const n = 2000
+	ts := mkTimers(n)
+	due := make([]int64, n)
+	for i := range ts {
+		// Bias towards level 0/1 but include level-2 stragglers.
+		d := int64(1 + r.Intn(4*wheelSlots*wheelSlots))
+		if r.Intn(50) == 0 {
+			d += int64(wheelSlots) * wheelSlots * 3
+		}
+		due[i] = base + d
+		w.schedule(&ts[i], due[i]*tick)
+	}
+
+	fired := make(map[int32]int64)
+	lastSlot := int64(-1)
+	now := base * tick
+	maxDue := int64(0)
+	for _, d := range due {
+		if d > maxDue {
+			maxDue = d
+		}
+	}
+	for w.cur <= maxDue {
+		now += int64(1+r.Intn(3*wheelSlots)) * tick
+		w.advance(now, func(wt *wheelTimer) {
+			if prev, dup := fired[wt.node]; dup {
+				t.Fatalf("timer %d fired twice (first at %d, again at %d)", wt.node, prev, w.cur)
+			}
+			fired[wt.node] = w.cur
+			if w.cur < lastSlot {
+				t.Fatalf("fire order went backwards: slot %d after %d", w.cur, lastSlot)
+			}
+			lastSlot = w.cur
+		})
+	}
+	for i := range ts {
+		got, ok := fired[int32(i)]
+		if !ok {
+			t.Fatalf("timer %d never fired (due slot %d, cur %d)", i, due[i], w.cur)
+		}
+		if got != due[i] {
+			t.Errorf("timer %d fired at slot %d, want %d", i, got, due[i])
+		}
+	}
+}
+
+// TestWheelCancel: a cancelled timer never fires; cancelling after fire (or
+// before any schedule) is a no-op; a cancelled timer can be rescheduled.
+func TestWheelCancel(t *testing.T) {
+	const tick = 100
+	w := newWheel(tick, 0)
+	ts := mkTimers(3)
+
+	w.cancel(&ts[0]) // never scheduled: no-op
+	if w.pending != 0 {
+		t.Fatalf("pending = %d after no-op cancel, want 0", w.pending)
+	}
+
+	w.schedule(&ts[0], 5*tick)
+	w.schedule(&ts[1], 5*tick)
+	w.cancel(&ts[0])
+	if w.pending != 1 {
+		t.Fatalf("pending = %d after cancel, want 1", w.pending)
+	}
+
+	var fired []int32
+	w.advance(10*tick, func(wt *wheelTimer) { fired = append(fired, wt.node) })
+	if len(fired) != 1 || fired[0] != 1 {
+		t.Fatalf("fired %v, want just timer 1", fired)
+	}
+
+	// Cancel-after-fire is a no-op and must not corrupt the pending count.
+	w.cancel(&ts[1])
+	if w.pending != 0 {
+		t.Fatalf("pending = %d after cancel-after-fire, want 0", w.pending)
+	}
+
+	// The cancelled timer is reusable.
+	w.schedule(&ts[0], 20*tick)
+	w.advance(21*tick, func(wt *wheelTimer) { fired = append(fired, wt.node) })
+	if len(fired) != 2 || fired[1] != 0 {
+		t.Fatalf("fired %v, want rescheduled timer 0 to fire", fired)
+	}
+}
+
+// TestWheelRescheduleInFire: the fire callback may reschedule the fired
+// timer (periodic ticks) and cancel other pending timers mid-advance.
+func TestWheelRescheduleInFire(t *testing.T) {
+	const tick = 50
+	w := newWheel(tick, 0)
+	ts := mkTimers(2)
+
+	w.schedule(&ts[0], 1*tick) // periodic: re-arms itself every 3 slots
+	w.schedule(&ts[1], 7*tick) // victim: cancelled by the 2nd periodic fire
+
+	var fires int
+	w.advance(20*tick, func(wt *wheelTimer) {
+		switch wt.node {
+		case 0:
+			fires++
+			if fires == 2 {
+				w.cancel(&ts[1])
+			}
+			if fires < 5 {
+				w.schedule(wt, wt.when+3*tick)
+			}
+		case 1:
+			t.Fatal("victim timer fired despite mid-advance cancel")
+		}
+	})
+	if fires != 5 {
+		t.Fatalf("periodic timer fired %d times, want 5", fires)
+	}
+	if w.pending != 0 {
+		t.Fatalf("pending = %d, want 0", w.pending)
+	}
+}
+
+// TestWheelCancelAfterFireThenReschedule pins the exact race the shard loop
+// relies on under -race: the protocol timer fires, the step handler decides
+// the deadline is stale, cancels (no-op), and immediately re-arms.
+func TestWheelCancelAfterFireThenReschedule(t *testing.T) {
+	const tick = 10
+	w := newWheel(tick, 0)
+	var wt wheelTimer
+
+	w.schedule(&wt, 2*tick)
+	var fired int
+	w.advance(3*tick, func(x *wheelTimer) {
+		fired++
+		if x.scheduledIn() {
+			t.Fatal("fired timer still reports scheduled")
+		}
+		w.cancel(x) // stale-deadline path: cancel the just-fired timer
+		w.schedule(x, x.when+4*tick)
+	})
+	w.advance(10*tick, func(*wheelTimer) { fired++ })
+	if fired != 2 {
+		t.Fatalf("fired %d times, want 2 (initial + re-arm)", fired)
+	}
+}

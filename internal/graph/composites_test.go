@@ -105,3 +105,63 @@ func TestHierarchicalDumbbellValidation(t *testing.T) {
 		}
 	}
 }
+
+func TestTorusDumbbell(t *testing.T) {
+	g, part, err := TorusDumbbell(200, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes() != 200 {
+		t.Fatalf("nodes = %d, want 200", g.NumNodes())
+	}
+	// Two 100-node tori at 2 edges per node, plus the cut.
+	if want := 2*100 + 2*100 + 4; g.NumEdges() != want {
+		t.Fatalf("edges = %d, want %d", g.NumEdges(), want)
+	}
+	if !IsConnected(g) {
+		t.Fatal("torus dumbbell not connected")
+	}
+	if part.Size1() != 100 || part.Size2() != 100 {
+		t.Fatalf("partition sizes %d/%d, want 100/100", part.Size1(), part.Size2())
+	}
+	if part.CutSize() != 4 {
+		t.Fatalf("cut size = %d, want 4", part.CutSize())
+	}
+	if !SidesInternallyConnected(part) {
+		t.Fatal("torus-dumbbell sides not internally connected")
+	}
+	// Degree is bounded: 4 inside the tori, at most 5 on the rims (one cut
+	// edge per rim node by construction).
+	for u := 0; u < g.NumNodes(); u++ {
+		if d := g.Degree(NodeID(u)); d < 4 || d > 5 {
+			t.Fatalf("node %d has degree %d, want 4 or 5", u, d)
+		}
+	}
+}
+
+func TestTorusDumbbellOddSizes(t *testing.T) {
+	// 45/45 split: factors as 5x9.
+	g, part, err := TorusDumbbell(90, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !IsConnected(g) || part.CutSize() != 1 {
+		t.Fatalf("connected=%v cut=%d", IsConnected(g), part.CutSize())
+	}
+}
+
+func TestTorusDumbbellValidation(t *testing.T) {
+	for _, tc := range []struct {
+		name        string
+		n, cutEdges int
+	}{
+		{"too small", 10, 1},
+		{"zero cut", 200, 0},
+		{"cut too wide", 200, 101},
+		{"prime half", 2 * 101, 1}, // 101 has no rows >= 3 factorisation
+	} {
+		if _, _, err := TorusDumbbell(tc.n, tc.cutEdges); err == nil {
+			t.Errorf("%s: TorusDumbbell(%d, %d) accepted", tc.name, tc.n, tc.cutEdges)
+		}
+	}
+}

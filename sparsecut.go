@@ -134,6 +134,13 @@ func NewHierarchicalDumbbell(n, innerCut, outerCut int) (*Graph, *Partition, err
 	return graph.HierarchicalDumbbell(n, innerCut, outerCut)
 }
 
+// NewTorusDumbbell returns two 4-regular tori joined by cutEdges edges —
+// the dumbbell's bottleneck at constant degree, materialisable at 10^6
+// nodes — with the planted partition between the halves.
+func NewTorusDumbbell(n, cutEdges int) (*Graph, *Partition, error) {
+	return graph.TorusDumbbell(n, cutEdges)
+}
+
 // NewPlantedPartition returns a random two-community graph: within-side
 // edge probability pIn, cross probability pOut, retried until both sides
 // are internally connected with a non-empty cut.
@@ -393,6 +400,25 @@ type (
 	// TCPTransport carries protocol messages over loopback TCP sockets
 	// (it additionally exposes Port).
 	TCPTransport = dist.TCPTransport
+	// ShardRuntime is the M:N sharded runtime: the same protocol machine
+	// as Cluster driven by S shard event loops with per-shard timer
+	// wheels and batched mailboxes, scaling single-box runs to 10^6
+	// nodes. Construct with NewShardRuntime and drive with Run.
+	ShardRuntime = dist.ShardRuntime
+	// ShardRuntimeConfig configures NewShardRuntime (ClusterConfig plus
+	// shard count, mailbox capacity and timer-wheel tick).
+	ShardRuntimeConfig = dist.ShardRuntimeConfig
+	// WireCodec selects the TCP transport's message encoding; see
+	// NewTCPTransportCodec.
+	WireCodec = dist.WireCodec
+)
+
+// TCP wire codecs: the compact length-prefixed binary framing (default)
+// and the legacy gob stream. Peers negotiate per connection via a leading
+// version byte, so the two interoperate within one cluster.
+const (
+	WireBinary = dist.WireBinary
+	WireGob    = dist.WireGob
 )
 
 // / Telemetry, re-exported from internal/metrics: the dependency-free
@@ -460,6 +486,21 @@ func NewChanTransport(buf int) Transport { return dist.NewChanTransport(buf) }
 // NewTCPTransport returns a transport with one loopback TCP listener per
 // node address in [0, addrs).
 func NewTCPTransport(addrs int) (*TCPTransport, error) { return dist.NewTCPTransport(addrs) }
+
+// NewTCPTransportCodec is NewTCPTransport with an explicit wire codec for
+// outbound connections (WireBinary is the default; WireGob interoperates
+// with older peers).
+func NewTCPTransportCodec(addrs int, codec WireCodec) (*TCPTransport, error) {
+	return dist.NewTCPTransportCodec(addrs, codec)
+}
+
+// NewShardRuntime builds the sharded decentralized runtime for rule on g
+// with initial values x0: N nodes multiplexed over cfg.Shards event
+// loops, cross-shard delivery through cfg.Transport (or the in-process
+// direct path when nil). Same Run contract and invariants as NewCluster.
+func NewShardRuntime(g *Graph, x0 []float64, rule ExchangeRule, cfg ShardRuntimeConfig) (*ShardRuntime, error) {
+	return dist.NewShardRuntime(g, x0, rule, cfg)
+}
 
 // NewDropTransport wraps inner with i.i.d. Bernoulli message loss at the
 // given rate in [0, 1). The drop decisions are drawn from a private
